@@ -1,0 +1,38 @@
+"""Figure 3 — response time vs |S_q| for BSSR / BSSR w/o Opt / PNE / Dij.
+
+The report reproduces the paper's headline matrix (with per-cell time
+budgets standing in for the paper's month-long missing bars); the
+micro-benchmarks time one representative |S_q| = 3 query per algorithm
+on the Tokyo-like dataset.
+"""
+
+import pytest
+
+from repro.core.engine import SkySREngine
+from repro.experiments import figure3
+
+from .conftest import emit
+
+
+def test_figure3_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: figure3.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    # BSSR must finish every cell within the budget
+    for row in report.data["rows"]:
+        assert row[2] is not None, f"BSSR timed out on {row[0]} |Sq|={row[1]}"
+
+
+@pytest.mark.parametrize("algorithm", ["bssr", "bssr-noopt", "pne", "dij"])
+def test_benchmark_single_query(benchmark, tokyo, tokyo_queries, algorithm):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    query = tokyo_queries[0]
+
+    def run():
+        return engine.query(
+            query.start, list(query.categories), algorithm=algorithm
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) >= 1

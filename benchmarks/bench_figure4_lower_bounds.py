@@ -1,0 +1,40 @@
+"""Figure 4 — semantic/perfect minimum-distance ratios; benchmarks
+the Algorithm-4 bound computation."""
+
+from repro.core.bounds import compute_lower_bounds
+from repro.core.dominance import SkylineSet
+from repro.core.nninit import nninit
+from repro.core.spec import compile_query
+from repro.core.stats import SearchStats
+from repro.experiments import figure4
+from repro.semantics.scoring import ProductAggregator
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import emit
+
+
+def test_figure4_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: figure4.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+
+
+def test_benchmark_bound_computation(benchmark, tokyo, tokyo_queries):
+    query = tokyo_queries[0]
+    compiled = compile_query(
+        query.start,
+        list(query.categories),
+        tokyo.index,
+        HierarchyWuPalmer(),
+    )
+    skyline = SkylineSet()
+    nninit(
+        tokyo.network, compiled, ProductAggregator(), skyline, SearchStats()
+    )
+
+    def run():
+        return compute_lower_bounds(tokyo.network, compiled, skyline)
+
+    bounds = benchmark(run)
+    assert len(bounds.suffix_ls) == compiled.size + 1

@@ -1,0 +1,33 @@
+"""Figure 5 — on-the-fly caching: modified-Dijkstra execution counts."""
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.experiments import figure5
+
+from .conftest import emit
+
+
+def test_figure5_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: figure5.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    # the cache can only reduce executions
+    for row in report.data["rows"]:
+        with_cache, without_cache = row[2], row[3]
+        if with_cache is not None and without_cache is not None:
+            assert with_cache <= without_cache + 1e-9
+
+
+def test_benchmark_query_without_cache(benchmark, tokyo, tokyo_queries):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    query = tokyo_queries[0]
+    options = BSSROptions().but(caching=False)
+
+    def run():
+        return engine.query(
+            query.start, list(query.categories), options=options
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.cache_hits == 0

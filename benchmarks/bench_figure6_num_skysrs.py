@@ -1,0 +1,17 @@
+"""Figure 6 — number of skyline sequenced routes per query."""
+
+from repro.experiments import figure6
+
+from .conftest import emit
+
+
+def test_figure6_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: figure6.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    # skylines are small (the paper observes <= ~8 routes)
+    for values in report.data["series"].values():
+        for value in values:
+            if value is not None:
+                assert 1 <= value <= 20

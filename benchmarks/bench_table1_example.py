@@ -1,0 +1,21 @@
+"""Table 1 — the NYC cupcake → art museum → jazz club example."""
+
+from repro.experiments import table1
+
+from .conftest import emit
+
+
+def test_table1_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table1.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    rows = report.data["rows"]
+    assert rows, "the scenario must return at least one route"
+    # paper's claim: the skyline offers routes shorter than (or equal
+    # to) the perfect-match route, trading semantic fit
+    lengths = [row[0] for row in rows]
+    assert lengths == sorted(lengths)
+    perfect_rows = [row for row in rows if row[1] == 0.0]
+    assert perfect_rows, "a perfect-match route must exist"
+    assert min(lengths) <= perfect_rows[0][0]

@@ -1,0 +1,18 @@
+"""Table 4 — the running-example execution trace on Figure 1."""
+
+from repro.experiments import table4
+
+from .conftest import emit
+
+
+def test_table4_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table4.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    assert report.data["steps"] >= 3
+    routes = report.data["routes"]
+    # the running example's invariant: the skyline holds both a perfect
+    # route and a strictly shorter semantic alternative
+    semantics = sorted(r.semantic for r in routes)
+    assert semantics[0] == 0.0 and semantics[-1] > 0.0

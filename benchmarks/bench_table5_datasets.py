@@ -1,0 +1,18 @@
+"""Table 5 — dataset summary; benchmarks dataset construction."""
+
+from repro.datasets.presets import tokyo_like
+from repro.experiments import table5
+
+from .conftest import emit
+
+
+def test_table5_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table5.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+
+
+def test_benchmark_dataset_generation(benchmark, bench_config):
+    data = benchmark(lambda: tokyo_like(bench_config.scale))
+    assert data.network.is_connected()

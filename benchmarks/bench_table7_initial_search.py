@@ -1,0 +1,43 @@
+"""Table 7 — NNinit ablation; benchmarks NNinit itself."""
+
+from repro.core.dominance import SkylineSet
+from repro.core.nninit import nninit
+from repro.core.spec import compile_query
+from repro.core.stats import SearchStats
+from repro.experiments import table7
+from repro.semantics.scoring import ProductAggregator
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import emit
+
+
+def test_table7_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table7.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    # seeded first searches never explore farther than unseeded ones
+    for row in report.data["rows"]:
+        _, _, with_init, without_init = row[0], row[1], row[2], row[3]
+        if with_init is not None and without_init is not None:
+            assert with_init <= without_init + 1e-9
+
+
+def test_benchmark_nninit(benchmark, tokyo, tokyo_queries):
+    query = tokyo_queries[0]
+    compiled = compile_query(
+        query.start,
+        list(query.categories),
+        tokyo.index,
+        HierarchyWuPalmer(),
+    )
+
+    def run():
+        skyline = SkylineSet()
+        nninit(
+            tokyo.network, compiled, ProductAggregator(), skyline, SearchStats()
+        )
+        return skyline
+
+    skyline = benchmark(run)
+    assert len(skyline) >= 0

@@ -1,0 +1,28 @@
+"""Table 8 — proposed vs distance-based priority queue."""
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.experiments import table8
+
+from .conftest import emit
+
+
+def test_table8_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table8.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+
+
+def test_benchmark_distance_queue_query(benchmark, tokyo, tokyo_queries):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    query = tokyo_queries[0]
+    options = BSSROptions().but(priority_queue=False)
+
+    def run():
+        return engine.query(
+            query.start, list(query.categories), options=options
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) >= 1

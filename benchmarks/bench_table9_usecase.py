@@ -1,0 +1,16 @@
+"""Table 9 / Figure 7 — the Tokyo dinner use case (destination query)."""
+
+from repro.experiments import table9
+
+from .conftest import emit
+
+
+def test_table9_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: table9.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    rows = report.data["rows"]
+    assert rows, "the Tokyo scenario must return at least one route"
+    semantics = [row[1] for row in rows]
+    assert any(s == 0.0 for s in semantics)

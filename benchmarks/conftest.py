@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables/figures
+(printed to stdout in the paper's row/series shape) and times the
+underlying operations with pytest-benchmark.
+
+Environment knobs (see ``repro.experiments.harness``):
+
+* ``REPRO_SCALE``   — dataset size multiplier (default here: 0.12)
+* ``REPRO_QUERIES`` — queries per experiment cell (default here: 2)
+* ``REPRO_BUDGET``  — per-cell wall-clock budget in seconds (default: 8)
+
+Defaults are sized so the full suite finishes in minutes on a laptop;
+raise the knobs to approach the paper's regime.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.workloads import generate_workload
+from repro.experiments.harness import ExperimentConfig, dataset_by_name
+
+
+def _default(name: str, value: str) -> None:
+    os.environ.setdefault(name, value)
+
+
+_default("REPRO_SCALE", "0.12")
+_default("REPRO_QUERIES", "2")
+_default("REPRO_BUDGET", "8")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def tokyo(bench_config):
+    return dataset_by_name("tokyo", bench_config.scale)
+
+
+@pytest.fixture(scope="session")
+def nyc(bench_config):
+    return dataset_by_name("nyc", bench_config.scale)
+
+
+@pytest.fixture(scope="session")
+def cal(bench_config):
+    return dataset_by_name("cal", bench_config.scale)
+
+
+@pytest.fixture(scope="session")
+def tokyo_queries(tokyo, bench_config):
+    return generate_workload(
+        tokyo, 3, bench_config.queries_per_cell, seed=bench_config.seed
+    )
+
+
+def emit(capsys, report) -> None:
+    """Print a paper-shaped report past pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(report)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Section 6 variations: predicates, unordered trips, multi-category PoIs.
+
+Three extensions on one dataset:
+
+1. complex category requirements — "(American OR Mexican) but NOT Taco
+   Place" as a single query position;
+2. the skyline trip-planning query — same categories, no order;
+3. PoIs carrying multiple categories, matched at the best (or mean)
+   similarity.
+
+Run:  python examples/complex_requirements.py
+"""
+
+from repro import SkySREngine
+from repro.datasets import nyc_like
+from repro.experiments.scenarios import ensure_category_pois, scenario_start
+from repro.extensions import AnyOf, Excluding, MultiCategoryRequirement, add_category
+
+def main() -> None:
+    data = nyc_like(scale=0.25, seed=77)
+    ensure_category_pois(
+        data,
+        ["American Restaurant", "Mexican Restaurant", "Taco Place",
+         "Art Museum", "Gift Shop"],
+        per_category=2,
+    )
+    engine = SkySREngine(data.network, data.forest)
+    start = scenario_start(data, seed=3)
+
+    # -- 1. predicates ------------------------------------------------
+    dinner = Excluding(
+        AnyOf("American Restaurant", "Mexican Restaurant"), "Taco Place"
+    )
+    result = engine.query(start, [dinner, "Art Museum"])
+    print("predicate query: (American OR Mexican, NOT Taco Place) -> Art Museum")
+    print(result.to_table())
+
+    # -- 2. unordered skyline trip planning ---------------------------
+    categories = ["Gift Shop", "Art Museum"]
+    ordered = engine.query(start, categories)
+    unordered = engine.query(start, categories, ordered=False)
+    print("\nordered vs unordered (same categories):")
+    print(f"  ordered   best length: {ordered.routes[0].length:8.3f}")
+    print(f"  unordered best length: {unordered.routes[0].length:8.3f}")
+    assert unordered.routes[0].length <= ordered.routes[0].length
+
+    # -- 3. multi-category PoIs ---------------------------------------
+    victim = data.network.poi_vertices()[0]
+    add_category(data.network, victim, data.forest.resolve("Bakery"))
+    engine.refresh_index()  # PoI indexes are snapshots
+    best = engine.query(
+        start,
+        [MultiCategoryRequirement(data.forest.resolve("Bakery"), mode="max")],
+    )
+    mean = engine.query(
+        start,
+        [MultiCategoryRequirement(data.forest.resolve("Bakery"), mode="mean")],
+    )
+    print("\nmulti-category matching for 'Bakery':")
+    print(f"  max-rule skyline:  {[r.scores() for r in best.routes]}")
+    print(f"  mean-rule skyline: {[r.scores() for r in mean.routes]}")
+
+if __name__ == "__main__":
+    main()

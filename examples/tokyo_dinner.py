@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's Table-9 / Figure-7 use case: dinner and drinks in Tokyo.
+
+"We want to visit a Beer Garden, a Sushi Restaurant, and a Sake Bar
+from our current location and finally go to our hotel."  This is a
+*destination* SkySR query (Section 6).  In the Foursquare trees, "Bar"
+subsumes both "Beer Garden" and "Sake Bar", and "Japanese Restaurant"
+subsumes "Sushi Restaurant", so semantically matching routes can be
+dramatically shorter, exactly as the paper's second representative
+route shows.
+
+Run:  python examples/tokyo_dinner.py
+"""
+
+import json
+
+from repro import SkySREngine
+from repro.datasets import tokyo_like
+from repro.experiments.scenarios import ensure_category_pois, scenario_start
+from repro.extensions.destination import split_length
+from repro.service.geojson import dumps, routes_to_geojson
+
+QUERY = ["Beer Garden", "Sushi Restaurant", "Sake Bar"]
+
+def main() -> None:
+    data = tokyo_like(scale=0.3, seed=2018)
+    ensure_category_pois(data, QUERY, per_category=3)
+    print(f"dataset: {data.summary()}\n")
+
+    engine = SkySREngine(data.network, data.forest)
+    start = scenario_start(data, seed=5)
+    hotel = scenario_start(data, seed=6)
+
+    result = engine.query(start, QUERY, destination=hotel)
+    print(
+        f"query: {' -> '.join(QUERY)} -> hotel "
+        f"(start {start}, hotel {hotel})"
+    )
+    print(result.to_table())
+
+    print("\nlength split (PoI chain + final leg to the hotel):")
+    for route in result.routes:
+        chain, leg = split_length(data.network, route, hotel)
+        stops = " -> ".join(result.poi_category_names(route))
+        print(f"  chain {chain:8.3f} + hotel leg {leg:7.3f}   {stops}")
+
+    geojson = routes_to_geojson(data.network, start, result.routes)
+    payload = json.loads(dumps(geojson))
+    print(
+        f"\nGeoJSON export: {len(payload['features'])} LineString features "
+        "(ready for any map client)"
+    )
+
+if __name__ == "__main__":
+    main()

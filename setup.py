@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) fall back to this shim via
+``--no-use-pep517``.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

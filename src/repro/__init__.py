@@ -1,0 +1,106 @@
+"""repro — Skyline Sequenced Route (SkySR) queries with semantic hierarchy.
+
+A from-scratch reproduction of *"Sequenced Route Query with Semantic
+Hierarchy"* (Sasaki, Ishikawa, Fujiwara, Onizuka — EDBT 2018): trip
+planning queries that return **all skyline routes** trading route length
+against the semantic similarity between visited PoI categories and the
+requested category sequence.
+
+Quickstart::
+
+    from repro import SkySREngine, datasets
+
+    data = datasets.mini_city()
+    engine = SkySREngine(data.network, data.forest)
+    result = engine.query(
+        start=data.landmarks["vq"],
+        categories=["Asian Restaurant", "Arts & Entertainment", "Gift Shop"],
+    )
+    print(result.to_table())
+
+The primary algorithm is BSSR (bulk SkySR, Section 5 of the paper) with
+all four optimization techniques; the naive baselines ("dij", "pne"),
+the brute-force oracle, and every Section 6 extension (destinations,
+unordered trip planning, complex predicates, multi-category PoIs,
+directed networks) are included, as are dataset generators and the full
+experiment harness reproducing every table and figure of the paper.
+"""
+
+from repro import (
+    baselines,
+    datasets,
+    experiments,
+    extensions,
+    graph,
+    semantics,
+    service,
+)
+from repro.core import (
+    ALGORITHMS,
+    BSSROptions,
+    SearchStats,
+    SkylineRoute,
+    SkylineSet,
+    SkySREngine,
+    SkySRResult,
+    compile_query,
+    dominates,
+    run_bssr,
+    skyline_filter,
+)
+from repro.errors import (
+    AlgorithmError,
+    CategoryError,
+    DataError,
+    GraphError,
+    QueryError,
+    ReproError,
+)
+from repro.graph import PoIIndex, RoadNetwork
+from repro.semantics import (
+    CategoryForest,
+    HierarchyWuPalmer,
+    ProductAggregator,
+    build_foursquare_forest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine
+    "SkySREngine",
+    "SkySRResult",
+    "BSSROptions",
+    "ALGORITHMS",
+    "run_bssr",
+    "compile_query",
+    # values
+    "SkylineRoute",
+    "SkylineSet",
+    "SearchStats",
+    "dominates",
+    "skyline_filter",
+    # substrate
+    "RoadNetwork",
+    "PoIIndex",
+    "CategoryForest",
+    "build_foursquare_forest",
+    "HierarchyWuPalmer",
+    "ProductAggregator",
+    # errors
+    "ReproError",
+    "GraphError",
+    "CategoryError",
+    "QueryError",
+    "DataError",
+    "AlgorithmError",
+    # subpackages
+    "graph",
+    "semantics",
+    "baselines",
+    "datasets",
+    "extensions",
+    "experiments",
+    "service",
+]

@@ -1,0 +1,25 @@
+"""Comparison algorithms: OSR solvers, naive SkySR, brute-force oracle."""
+
+from repro.baselines.brute_force import (
+    brute_force_skysr,
+    enumerate_sequenced_routes,
+)
+from repro.baselines.naive import naive_skysr
+from repro.baselines.osr_dijkstra import osr_dijkstra
+from repro.baselines.osr_pne import osr_pne
+from repro.baselines.supercat import (
+    ancestor_options,
+    count_super_sequences,
+    super_sequences,
+)
+
+__all__ = [
+    "osr_dijkstra",
+    "osr_pne",
+    "naive_skysr",
+    "brute_force_skysr",
+    "enumerate_sequenced_routes",
+    "super_sequences",
+    "ancestor_options",
+    "count_super_sequences",
+]

@@ -1,0 +1,138 @@
+"""The Progressive Neighbor Exploration OSR solution ("PNE", [16]).
+
+PNE grows partial routes with *incremental nearest-neighbor* queries:
+a global priority queue holds (partial route, j) pairs keyed by the
+length of the route extended with its j-th nearest next-position
+candidate.  Popping the key materializes that extension, re-arms the
+pair with the (j+1)-th neighbor, and — because every key is an exact
+length of a concrete extension and extensions only grow — the first
+complete route popped is optimal.
+
+Incremental nearest neighbors over the road network are served by
+:class:`~repro.graph.dijkstra.ResumableDijkstra` streams memoized per
+(vertex, position), mirroring the paper's description of PNE as the
+"nearest neighbor-based" approach.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Collection
+
+from repro.core.stats import SearchStats
+from repro.graph.dijkstra import ResumableDijkstra
+from repro.graph.road_network import RoadNetwork
+
+
+class _NeighborStream:
+    """Candidates of one position in increasing distance from a vertex."""
+
+    __slots__ = ("_dijkstra", "_members", "_found", "_stats")
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        source: int,
+        members: set[int],
+        stats: SearchStats | None,
+    ) -> None:
+        self._dijkstra = ResumableDijkstra(network, source)
+        self._members = members
+        self._found: list[tuple[float, int]] = []
+        self._stats = stats
+
+    def get(self, j: int) -> tuple[float, int] | None:
+        """The j-th nearest candidate ``(distance, vid)``; None if fewer."""
+        while len(self._found) <= j:
+            step = self._dijkstra.settle_next()
+            if step is None:
+                return None
+            if self._stats is not None:
+                self._stats.settled += 1
+            d, u = step
+            if u in self._members:
+                self._found.append((d, u))
+        return self._found[j]
+
+
+def osr_pne(
+    network: RoadNetwork,
+    start: int,
+    candidate_sets: list[Collection[int]],
+    *,
+    destination: int | None = None,
+    dest_dist: dict[int, float] | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[float, tuple[int, ...]] | None:
+    """Optimal sequenced route via progressive neighbor exploration.
+
+    ``dest_dist`` (distances to ``destination``) may be precomputed by
+    the caller and shared across OSR invocations; it is derived on
+    demand otherwise.
+    """
+    n = len(candidate_sets)
+    sets = [c if isinstance(c, (set, frozenset)) else set(c) for c in candidate_sets]
+    if any(not s for s in sets):
+        return None
+    if destination is not None and dest_dist is None:
+        from repro.graph.dijkstra import dijkstra
+
+        dest_dist = dijkstra(network, destination, reverse=True)  # type: ignore[assignment]
+
+    streams: dict[tuple[int, int], _NeighborStream] = {}
+
+    def stream(source: int, position: int) -> _NeighborStream:
+        key = (source, position)
+        found = streams.get(key)
+        if found is None:
+            found = _NeighborStream(network, source, sets[position], stats)
+            streams[key] = found
+        return found
+
+    serial = itertools.count()
+    # heap entries: (key, serial#, kind, prefix, prefix_length, j)
+    # kind "partial": extend prefix with the j-th neighbor of its end;
+    # kind "complete": a finished route (key includes any destination leg).
+    heap: list[tuple[float, int, str, tuple[int, ...], float, int]] = []
+
+    def arm(prefix: tuple[int, ...], prefix_length: float, j: int) -> None:
+        """Push the (prefix, j) pair keyed by its concrete extension length."""
+        source = prefix[-1] if prefix else start
+        neighbor = stream(source, len(prefix)).get(j)
+        if neighbor is None:
+            return
+        d, _vid = neighbor
+        heapq.heappush(
+            heap,
+            (prefix_length + d, next(serial), "partial", prefix, prefix_length, j),
+        )
+
+    arm((), 0.0, 0)
+    while heap:
+        key, _, kind, prefix, prefix_length, j = heapq.heappop(heap)
+        if kind == "complete":
+            return key, prefix
+        source = prefix[-1] if prefix else start
+        neighbor = stream(source, len(prefix)).get(j)
+        assert neighbor is not None  # it was materialized when armed
+        d, vid = neighbor
+        arm(prefix, prefix_length, j + 1)  # re-arm with the next neighbor
+        if vid in prefix:
+            continue  # distinctness: skip this extension, keep exploring
+        extended = prefix + (vid,)
+        length = prefix_length + d
+        if len(extended) == n:
+            total = length
+            if destination is not None:
+                leg = dest_dist.get(vid, math.inf) if dest_dist else math.inf
+                if leg == math.inf:
+                    continue
+                total = length + leg
+            heapq.heappush(
+                heap, (total, next(serial), "complete", extended, total, 0)
+            )
+        else:
+            arm(extended, length, 0)
+    return None

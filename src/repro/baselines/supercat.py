@@ -1,0 +1,45 @@
+"""Super-category sequence enumeration (Definition 3.1, Section 4).
+
+The naive SkySR solution enumerates every *super-category sequence* of
+the query — each position generalized to itself or any of its ancestors
+— and solves one exact-match OSR per sequence.  "The number of
+super-category sequences increases exponentially as the depth of the
+category ... and the size of S_q increase" (Section 4): this module
+makes that blow-up explicit and measurable.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.semantics.category import CategoryForest
+
+
+def ancestor_options(
+    forest: CategoryForest, category: int | str
+) -> list[int]:
+    """Generalization choices for one position: self, then ancestors."""
+    return forest.ancestors(category, include_self=True)
+
+
+def super_sequences(
+    forest: CategoryForest, categories: list[int]
+) -> Iterator[tuple[int, ...]]:
+    """All super-category sequences of ``categories`` (Definition 3.1).
+
+    The original sequence is yielded first (all positions at depth 0 of
+    generalization); iteration order is deterministic.
+    """
+    options = [ancestor_options(forest, c) for c in categories]
+    return product(*options)
+
+
+def count_super_sequences(
+    forest: CategoryForest, categories: list[int]
+) -> int:
+    """Π depth(c_i) — the number of OSR calls the naive solution makes."""
+    total = 1
+    for c in categories:
+        total *= forest.depth(c)
+    return total

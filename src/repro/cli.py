@@ -1,0 +1,164 @@
+"""Command-line interface: ``skysr`` (or ``python -m repro``).
+
+Subcommands::
+
+    skysr info                       library + dataset overview
+    skysr query  --preset tokyo --categories "Beer Garden" "Sake Bar" ...
+    skysr experiment figure3         regenerate one paper table/figure
+    skysr experiment all             regenerate everything
+    skysr generate --preset nyc out.json      save a dataset to JSON
+    skysr study  --preset tokyo      run the simulated user study
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro import __version__
+from repro.core.engine import ALGORITHMS, SkySREngine
+from repro.datasets.presets import PRESETS, by_name
+from repro.experiments.harness import ExperimentConfig
+from repro.graph.io import save_dataset
+from repro.service.user_study import simulate_user_study
+
+
+def _add_preset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="mini",
+        choices=sorted(PRESETS) + ["mini"],
+        help="dataset preset (default: mini)",
+    )
+    parser.add_argument(
+        "--dataset-scale",
+        type=float,
+        default=0.35,
+        dest="dataset_scale",
+        help="preset size multiplier",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — SkySR query library (EDBT 2018 reproduction)")
+    data = by_name(args.preset, args.dataset_scale, args.seed)
+    for key, value in data.summary().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data = by_name(args.preset, args.dataset_scale, args.seed)
+    engine = SkySREngine(data.network, data.forest)
+    start = args.start
+    if start is None:
+        rng = random.Random(args.seed or 0)
+        road = [
+            v for v in data.network.vertices() if not data.network.is_poi(v)
+        ]
+        start = road[rng.randrange(len(road))]
+    result = engine.query(
+        start,
+        args.categories,
+        algorithm=args.algorithm,
+        destination=args.destination,
+        ordered=not args.unordered,
+    )
+    print(
+        f"# {len(result)} skyline route(s) from vertex {start} "
+        f"[{result.algorithm}, {result.stats.elapsed * 1000:.1f} ms]"
+    )
+    print(result.to_table())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_all, run_experiment
+
+    config = ExperimentConfig.from_env()
+    if args.dataset_scale is not None:
+        config.scale = args.dataset_scale
+    if args.queries is not None:
+        config.queries_per_cell = args.queries
+    if args.budget is not None:
+        config.time_budget = args.budget
+    if args.name == "all":
+        for report in run_all(config):
+            print(report)
+    else:
+        print(run_experiment(args.name, config))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = by_name(args.preset, args.dataset_scale, args.seed)
+    save_dataset(args.output, data.network, data.forest)
+    print(f"wrote {args.output}: {data.summary()}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    data = by_name(args.preset, args.dataset_scale, args.seed)
+    outcome = simulate_user_study(
+        data, respondents=args.respondents, seed=args.seed or 2017
+    )
+    print(outcome.render_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="skysr",
+        description="Skyline sequenced route queries with semantic hierarchy",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="library and dataset overview")
+    _add_preset_args(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_query = sub.add_parser("query", help="run one SkySR query")
+    _add_preset_args(p_query)
+    p_query.add_argument("--start", type=int, default=None)
+    p_query.add_argument("--destination", type=int, default=None)
+    p_query.add_argument(
+        "--algorithm", default="bssr", choices=list(ALGORITHMS)
+    )
+    p_query.add_argument("--unordered", action="store_true")
+    p_query.add_argument(
+        "--categories", nargs="+", required=True, metavar="CATEGORY"
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    from repro.experiments.registry import experiment_names
+
+    p_exp.add_argument("name", choices=experiment_names() + ["all"])
+    p_exp.add_argument("--dataset-scale", type=float, default=None)
+    p_exp.add_argument("--queries", type=int, default=None)
+    p_exp.add_argument("--budget", type=float, default=None)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_gen = sub.add_parser("generate", help="save a preset dataset to JSON")
+    _add_preset_args(p_gen)
+    p_gen.add_argument("output")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_study = sub.add_parser("study", help="run the simulated user study")
+    _add_preset_args(p_study)
+    p_study.add_argument("--respondents", type=int, default=25)
+    p_study.set_defaults(func=_cmd_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core SkySR machinery: skyline set, BSSR, options, engine."""
+
+from repro.core.bounds import LowerBounds, compute_lower_bounds
+from repro.core.bssr import run_bssr
+from repro.core.dominance import (
+    SkylineSet,
+    dominates,
+    equivalent,
+    skyline_filter,
+)
+from repro.core.engine import ALGORITHMS, SkySREngine, SkySRResult
+from repro.core.nninit import nninit
+from repro.core.options import BSSROptions
+from repro.core.routes import PartialRoute, SkylineRoute
+from repro.core.search import PoICandidateSearch
+from repro.core.spec import (
+    CategoryRequirement,
+    CompiledQuery,
+    PositionSpec,
+    Requirement,
+    compile_query,
+)
+from repro.core.stats import SearchStats, mean_stats
+
+__all__ = [
+    "SkySREngine",
+    "SkySRResult",
+    "ALGORITHMS",
+    "BSSROptions",
+    "run_bssr",
+    "SkylineRoute",
+    "PartialRoute",
+    "SkylineSet",
+    "dominates",
+    "equivalent",
+    "skyline_filter",
+    "SearchStats",
+    "mean_stats",
+    "CompiledQuery",
+    "PositionSpec",
+    "CategoryRequirement",
+    "Requirement",
+    "compile_query",
+    "PoICandidateSearch",
+    "nninit",
+    "LowerBounds",
+    "compute_lower_bounds",
+]

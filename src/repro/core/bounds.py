@@ -1,0 +1,158 @@
+"""Lower-bound machinery of Section 5.3.3 (Algorithm 4, Lemma 5.8).
+
+Two families of per-leg minimum distances tighten the length lower
+bound of a partial route:
+
+* **semantic-match minimum distance** ``l_s[i]`` — the smallest network
+  distance from any candidate of position ``i`` to any candidate of
+  position ``i+1``.  Always addable: every completion must traverse at
+  least this much per remaining leg.
+* **perfect-match minimum distance** ``l_p[i]`` — the smallest distance
+  from any candidate of position ``i`` to any *perfect* candidate of
+  position ``i+1``.  Larger (tighter), but only applicable under Lemma
+  5.8's side conditions — when any non-perfect deviation would already
+  make the route dominated, so it *must* chain perfect matches.
+
+Both are computed with the multi-source multi-destination Dijkstra
+(Lemma 5.9), with candidate sets restricted to the ``l̄(ϕ)`` ball around
+the start (Algorithm 4 lines 3–4): PoIs farther than the best perfect
+route are unreachable by any non-pruned route.  Radius-truncated
+searches return the radius — still a valid lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.dominance import SkylineSet
+from repro.core.spec import CompiledQuery
+from repro.core.stats import SearchStats
+from repro.graph.dijkstra import bounded_dijkstra, multi_source_min_distance
+from repro.graph.road_network import RoadNetwork
+
+
+@dataclass
+class LowerBounds:
+    """Suffix-aggregated lower bounds, indexed by current route size.
+
+    ``suffix_ls[k]`` (``k ∈ [0, n]``) is the minimum extra length any
+    route of size ``k`` must still accumulate over its remaining legs
+    (Definition 5.7's ``l_s(R)``); ``suffix_lp`` the perfect-match
+    variant; ``remaining_best_np[k]`` the best non-perfect similarity
+    any remaining position admits (for Lemma 5.8's ``δ``);
+    ``dest_min`` a lower bound on the final leg to the destination
+    (0 for destination-free queries).
+    """
+
+    suffix_ls: list[float]
+    suffix_lp: list[float]
+    remaining_best_np: list[float | None]
+    dest_min: float = 0.0
+    legs_ls: list[float] = field(default_factory=list)
+    legs_lp: list[float] = field(default_factory=list)
+
+    @classmethod
+    def disabled(cls, n: int) -> "LowerBounds":
+        """Zero bounds (the ``lower_bounds=False`` ablation)."""
+        return cls(
+            suffix_ls=[0.0] * (n + 1),
+            suffix_lp=[0.0] * (n + 1),
+            remaining_best_np=_remaining_best_np_from([None] * n),
+            dest_min=0.0,
+        )
+
+
+def _remaining_best_np_from(
+    per_position: list[float | None],
+) -> list[float | None]:
+    """Suffix-max of per-position best non-perfect similarities."""
+    n = len(per_position)
+    out: list[float | None] = [None] * (n + 1)
+    for k in range(n - 1, -1, -1):
+        best = out[k + 1]
+        cur = per_position[k]
+        if cur is not None and (best is None or cur > best):
+            best = cur
+        out[k] = best
+    return out
+
+
+def compute_lower_bounds(
+    network: RoadNetwork,
+    query: CompiledQuery,
+    skyline: SkylineSet,
+    *,
+    enabled: bool = True,
+    perfect_enabled: bool = True,
+    dest_dist: dict[int, float] | None = None,
+    stats: SearchStats | None = None,
+) -> LowerBounds:
+    """Algorithm 4 — compute ``l_s``/``l_p`` legs and their suffixes."""
+    n = query.size
+    specs = query.specs
+    per_position_np = [spec.best_nonperfect for spec in specs]
+    bounds = LowerBounds(
+        suffix_ls=[0.0] * (n + 1),
+        suffix_lp=[0.0] * (n + 1),
+        remaining_best_np=_remaining_best_np_from(per_position_np),
+    )
+    if not enabled:
+        return bounds
+
+    started = perf_counter()
+    radius = skyline.perfect_route_length()  # l̄(ϕ)
+    ball: dict[int, float] | None = None
+    if radius < math.inf:
+        ball = bounded_dijkstra(network, query.start, radius)
+
+    def restrict(vids) -> list[int]:
+        if ball is None:
+            return list(vids)
+        return [v for v in vids if v in ball]
+
+    legs_ls: list[float] = []
+    legs_lp: list[float] = []
+    for j in range(n - 1):
+        sources = restrict(specs[j].sim_map)
+        sem_targets = restrict(specs[j + 1].sim_map)
+        legs_ls.append(
+            multi_source_min_distance(
+                network, sources, sem_targets, radius=radius
+            )
+        )
+        if perfect_enabled:
+            perfect_targets = restrict(specs[j + 1].perfect)
+            legs_lp.append(
+                multi_source_min_distance(
+                    network, sources, perfect_targets, radius=radius
+                )
+            )
+        else:
+            legs_lp.append(0.0)
+
+    # suffix over remaining legs: a route of size k has legs k-1 … n-2
+    # still ahead of it (0-based legs between positions j and j+1).
+    for k in range(n - 1, 0, -1):
+        bounds.suffix_ls[k] = bounds.suffix_ls[k + 1] + legs_ls[k - 1]
+        lp_leg = max(legs_lp[k - 1], legs_ls[k - 1])
+        bounds.suffix_lp[k] = bounds.suffix_lp[k + 1] + lp_leg
+    # An empty route has at least the size-1 remainder ahead of it.
+    bounds.suffix_ls[0] = bounds.suffix_ls[1]
+    bounds.suffix_lp[0] = bounds.suffix_lp[1]
+    bounds.legs_ls = legs_ls
+    bounds.legs_lp = legs_lp
+
+    if dest_dist is not None and n >= 1:
+        last_candidates = restrict(specs[n - 1].sim_map)
+        bounds.dest_min = min(
+            (dest_dist.get(p, math.inf) for p in last_candidates),
+            default=math.inf,
+        )
+
+    if stats is not None:
+        stats.bounds_time = perf_counter() - started
+        stats.sum_ls = bounds.suffix_ls[1]
+        stats.sum_lp = bounds.suffix_lp[1]
+    return bounds

@@ -1,0 +1,295 @@
+"""The bulk SkySR algorithm — BSSR (Section 5, Algorithm 1).
+
+BSSR finds all skyline sequenced routes in a single bulk search: a
+priority queue ``Q_b`` of partial routes is repeatedly popped, and the
+popped route is extended by every next-position candidate discovered by
+the modified Dijkstra (Algorithm 2), under branch-and-bound pruning:
+
+* **upper bounds** come from the evolving skyline set ``S`` (Lemma 5.1)
+  — Definition 5.4's threshold ``l̄``;
+* **lower bounds** come from Lemma 5.2 (monotone scores) plus the
+  optional per-leg minimum distances of Section 5.3.3;
+* Lemma 5.3 justifies discarding any route whose bounds cross.
+
+All four optimizations of Section 5.3 are integrated and individually
+toggleable via :class:`~repro.core.options.BSSROptions`:
+NNinit seeding, the proposed queue priority, ``l_s``/``l_p`` lower
+bounds with Lemma 5.8's perfect-match rule, and on-the-fly caching of
+modified-Dijkstra expansions.
+
+The implementation is exact for directed and undirected networks,
+multi-category PoIs, arbitrary position requirements (predicates), any
+similarity measure / aggregator pair satisfying the documented
+monotonicity contracts, and optional destinations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from time import perf_counter
+
+from repro.core.bounds import LowerBounds, compute_lower_bounds
+from repro.core.dominance import SkylineSet
+from repro.core.nninit import nninit
+from repro.core.options import BSSROptions
+from repro.core.priority import policy_for
+from repro.core.routes import PartialRoute, SkylineRoute
+from repro.core.search import PoICandidateSearch
+from repro.core.spec import CompiledQuery
+from repro.core.stats import SearchStats
+from repro.errors import AlgorithmError
+from repro.graph.dijkstra import dijkstra
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.scoring import DEFAULT_AGGREGATOR, SemanticAggregator
+
+
+def run_bssr(
+    network: RoadNetwork,
+    query: CompiledQuery,
+    *,
+    aggregator: SemanticAggregator | None = None,
+    options: BSSROptions | None = None,
+    precomputed_bounds: LowerBounds | None = None,
+) -> tuple[list[SkylineRoute], SearchStats]:
+    """Execute a SkySR query with BSSR; returns (skyline routes, stats).
+
+    ``precomputed_bounds`` (e.g. from
+    :class:`repro.extensions.preprocessing.TreePairDistanceIndex`)
+    replaces the per-query Algorithm-4 computation with index lookups;
+    destination queries ignore it, since the destination leg bound is
+    query-specific.
+    """
+    runner = _BSSRRun(network, query, aggregator, options)
+    runner.precomputed_bounds = precomputed_bounds
+    return runner.execute()
+
+
+class _BSSRRun:
+    """One BSSR execution (Algorithm 1 plus Section 5.3 optimizations)."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        query: CompiledQuery,
+        aggregator: SemanticAggregator | None,
+        options: BSSROptions | None,
+    ) -> None:
+        self.network = network
+        self.query = query
+        self.aggregator = aggregator or DEFAULT_AGGREGATOR
+        self.options = options or BSSROptions()
+        self.stats = SearchStats(algorithm="bssr")
+        self.skyline = SkylineSet()
+        self.n = query.size
+        self.bounds = LowerBounds.disabled(self.n)
+        self.dest_dist: dict[int, float] | None = None
+        self._qb: list[tuple[tuple, int, PartialRoute]] = []
+        self._serial = itertools.count()
+        self._priority = policy_for(self.options.priority_queue)
+        self._cache: dict[tuple[int, int], PoICandidateSearch] = {}
+        self._use_cache = self.options.caching and query.disjoint_trees
+        self._first_radius_recorded = False
+        self.precomputed_bounds: LowerBounds | None = None
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> tuple[list[SkylineRoute], SearchStats]:
+        started = perf_counter()
+        if any(spec.num_candidates == 0 for spec in self.query.specs):
+            # Some position admits no PoI at all: no sequenced route exists.
+            self._finish(started)
+            return [], self.stats
+
+        if self.query.destination is not None:
+            self.dest_dist = dijkstra(
+                self.network, self.query.destination, reverse=True
+            )  # type: ignore[assignment]
+
+        if self.options.initial_search:
+            init_start = perf_counter()
+            nninit(
+                self.network,
+                self.query,
+                self.aggregator,
+                self.skyline,
+                self.stats,
+                dest_dist=self.dest_dist,
+            )
+            self.stats.init_time = perf_counter() - init_start
+            self.stats.extra["init_perfect_length"] = (
+                self.skyline.perfect_route_length()
+            )
+
+        if (
+            self.precomputed_bounds is not None
+            and self.options.lower_bounds
+            and self.dest_dist is None
+        ):
+            self.bounds = self.precomputed_bounds
+            self.stats.sum_ls = self.bounds.suffix_ls[1]
+            self.stats.sum_lp = self.bounds.suffix_lp[1]
+            self.stats.extra["preprocessed_bounds"] = True
+        else:
+            self.bounds = compute_lower_bounds(
+                self.network,
+                self.query,
+                self.skyline,
+                enabled=self.options.lower_bounds,
+                perfect_enabled=self.options.effective_perfect_bound(),
+                dest_dist=self.dest_dist,
+                stats=self.stats,
+            )
+
+        empty = PartialRoute(
+            pois=(),
+            length=0.0,
+            semantic=0.0,
+            sem_state=self.aggregator.initial(self.n),
+            sims=(),
+        )
+        self._expand(empty)
+        limit = self.options.max_routes_expanded
+        while self._qb:
+            _, _, route = heapq.heappop(self._qb)
+            if self._prunable(
+                route.length, route.semantic, route.sem_state, route.size
+            ):
+                self.stats.routes_pruned_on_pop += 1
+                continue
+            self.stats.routes_expanded += 1
+            if limit is not None and self.stats.routes_expanded > limit:
+                raise AlgorithmError(
+                    f"BSSR exceeded max_routes_expanded={limit}"
+                )
+            self._expand(route)
+        self._finish(started)
+        return self.skyline.routes(), self.stats
+
+    def _finish(self, started: float) -> None:
+        self.stats.elapsed = perf_counter() - started
+        self.stats.result_size = len(self.skyline)
+        self.stats.skyline_updates = self.skyline.updates
+        self.stats.skyline_rejects = self.skyline.rejects
+
+    # ------------------------------------------------------------------
+
+    def _prunable(
+        self, length: float, semantic: float, sem_state, size: int
+    ) -> bool:
+        """Lemma 5.3 (with Section 5.3.3 suffixes) + Lemma 5.8."""
+        skyline = self.skyline
+        bounds = self.bounds
+        floor = length + bounds.suffix_ls[size] + bounds.dest_min
+        if floor >= skyline.threshold(semantic):
+            return True
+        if (
+            self.options.effective_perfect_bound()
+            and len(skyline)
+            and size < self.n
+        ):
+            delta = self.aggregator.min_increment(
+                sem_state, bounds.remaining_best_np[size]
+            )
+            if delta > 0.0:
+                cond_a = skyline.threshold(semantic + delta) <= length
+                cond_b = (
+                    skyline.threshold(semantic)
+                    <= length + bounds.suffix_lp[size] + bounds.dest_min
+                )
+                if cond_a and cond_b:
+                    return True
+        return False
+
+    def _push(self, route: PartialRoute) -> None:
+        heapq.heappush(
+            self._qb, (self._priority(route), next(self._serial), route)
+        )
+        self.stats.routes_enqueued += 1
+        if len(self._qb) > self.stats.max_queue_size:
+            self.stats.max_queue_size = len(self._qb)
+
+    def _candidate_search(
+        self, route: PartialRoute, position: int
+    ) -> PoICandidateSearch:
+        source = route.pois[-1] if route.pois else self.query.start
+        spec = self.query.specs[position]
+        if self._use_cache:
+            key = (source, position)
+            search = self._cache.get(key)
+            if search is not None:
+                self.stats.cache_hits += 1
+                self.stats.mdijkstra_resumes += 1
+                return search
+            search = PoICandidateSearch(
+                self.network, spec, source, stats=self.stats
+            )
+            self._cache[key] = search
+            self.stats.mdijkstra_runs += 1
+            return search
+        search = PoICandidateSearch(
+            self.network,
+            spec,
+            source,
+            exclude=frozenset(route.pois),
+            stats=self.stats,
+        )
+        self.stats.mdijkstra_runs += 1
+        return search
+
+    def _expand(self, route: PartialRoute) -> None:
+        """Algorithm 1 lines 7–9: extend ``route`` at its next position."""
+        position = route.size
+        search = self._candidate_search(route, position)
+        new_size = position + 1
+        aggregator = self.aggregator
+        skyline = self.skyline
+        suffix_next = self.bounds.suffix_ls[new_size] + self.bounds.dest_min
+
+        def budget() -> float:
+            # Lemma 5.3 break: settle only while a candidate at this
+            # distance could still beat the threshold at the route's
+            # (minimum possible) semantic score.
+            return (
+                skyline.threshold(route.semantic)
+                - route.length
+                - suffix_next
+            )
+
+        for d, vid, sim in search.candidates_until(budget):
+            if vid in route.pois:
+                continue  # distinctness (Definition 3.4 iii)
+            state = aggregator.extend(route.sem_state, sim)
+            semantic = aggregator.score(state)
+            length = route.length + d
+            sims = route.sims + (sim,)
+            pois = route.pois + (vid,)
+            if new_size == self.n:
+                total = length
+                if self.dest_dist is not None:
+                    leg = self.dest_dist.get(vid, math.inf)
+                    if leg == math.inf:
+                        continue
+                    total = length + leg
+                skyline.update(
+                    SkylineRoute(
+                        pois=pois, length=total, semantic=semantic, sims=sims
+                    )
+                )
+            elif self._prunable(length, semantic, state, new_size):
+                self.stats.routes_pruned_on_insert += 1
+            else:
+                self._push(
+                    PartialRoute(
+                        pois=pois,
+                        length=length,
+                        semantic=semantic,
+                        sem_state=state,
+                        sims=sims,
+                        serial=next(self._serial),
+                    )
+                )
+        if not self._first_radius_recorded:
+            self.stats.first_search_radius = search.radius
+            self._first_radius_recorded = True

@@ -1,0 +1,125 @@
+"""Skyline dominance and the minimal sequenced-route set.
+
+Implements Definition 4.1 (dominance / equivalence), Definition 4.2
+(the minimal set ``S``), and Definition 5.4 (the length-score threshold
+``l̄(R)`` used by the branch-and-bound pruning of Lemma 5.3).
+
+The skyline set is tiny in practice (the paper measures ≤ 8 routes,
+Figure 6), so a sorted list with linear scans is both simple and fast.
+Entries are kept sorted by length ascending; because the set is a
+skyline, semantic scores are then strictly descending.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterator
+
+from repro.core.routes import SkylineRoute
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Does score pair ``a = (l, s)`` dominate ``b`` (Definition 4.1)?
+
+    True iff ``a`` is no worse on both axes and strictly better on one.
+    """
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def equivalent(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Score-equivalent routes (same length and semantic score)."""
+    return a[0] == b[0] and a[1] == b[1]
+
+
+def skyline_filter(routes: list[SkylineRoute]) -> list[SkylineRoute]:
+    """Minimal skyline set of an arbitrary route collection.
+
+    Equivalent routes are collapsed to the first encountered (the
+    minimal-set rule of Definition 4.1).  Returns routes sorted by
+    length ascending.
+    """
+    result = SkylineSet()
+    for route in routes:
+        result.update(route)
+    return result.routes()
+
+
+class SkylineSet:
+    """The evolving minimal set ``S`` of sequenced routes.
+
+    Supports the three operations BSSR needs:
+
+    * :meth:`update` — insert a candidate, dropping it if dominated or
+      equivalent, and evicting members it dominates (Lemma 5.1);
+    * :meth:`threshold` — Definition 5.4's ``l̄``: the smallest length
+      among members whose semantic score is ≤ the probe's;
+    * :meth:`dominated_or_equal` — Lemma 5.3's pruning test.
+    """
+
+    def __init__(self) -> None:
+        self._lengths: list[float] = []
+        self._entries: list[SkylineRoute] = []
+        #: number of successful insertions (for SearchStats)
+        self.updates = 0
+        #: number of rejected candidates
+        self.rejects = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SkylineRoute]:
+        return iter(self._entries)
+
+    def routes(self) -> list[SkylineRoute]:
+        """Members sorted by length ascending (semantic descending)."""
+        return list(self._entries)
+
+    def update(self, route: SkylineRoute) -> bool:
+        """Insert ``route`` if it is not dominated/equivalent; True if kept."""
+        if self.dominated_or_equal(route.length, route.semantic):
+            self.rejects += 1
+            return False
+        # Evict members the new route dominates.  Members with smaller
+        # length cannot be dominated (skyline ⇒ their semantic is larger
+        # only if ours is... scan is cheap: the set stays tiny).
+        keep_l: list[float] = []
+        keep_e: list[SkylineRoute] = []
+        for length, entry in zip(self._lengths, self._entries):
+            if route.length <= length and route.semantic <= entry.semantic:
+                continue  # dominated by the newcomer (equivalence was ruled out)
+            keep_l.append(length)
+            keep_e.append(entry)
+        idx = bisect.bisect_left(keep_l, route.length)
+        keep_l.insert(idx, route.length)
+        keep_e.insert(idx, route)
+        self._lengths, self._entries = keep_l, keep_e
+        self.updates += 1
+        return True
+
+    def dominated_or_equal(self, length: float, semantic: float) -> bool:
+        """Is the score pair dominated by or equivalent to a member?"""
+        return self.threshold(semantic) <= length
+
+    def threshold(self, semantic: float) -> float:
+        """Definition 5.4: min length among members with ``s ≤ semantic``.
+
+        ``inf`` when no such member exists (nothing can be pruned yet).
+        Entries are sorted by length ascending, so the first entry with a
+        small-enough semantic score is the minimum.
+        """
+        for length, entry in zip(self._lengths, self._entries):
+            if entry.semantic <= semantic:
+                return length
+        return math.inf
+
+    def perfect_route_length(self) -> float:
+        """``l̄(ϕ)``: threshold at semantic score 0 (Algorithm 4 line 3)."""
+        return self.threshold(0.0)
+
+    def as_score_set(self) -> set[tuple[float, float]]:
+        """Score pairs of all members (order-free comparison in tests)."""
+        return {(r.length, r.semantic) for r in self._entries}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkylineSet({len(self._entries)} routes)"

@@ -1,0 +1,127 @@
+"""NNinit — the initial search of Section 5.3.1 (Algorithm 3).
+
+Branch-and-bound needs an upper bound before it can prune anything.
+NNinit seeds the skyline set cheaply by chaining nearest-neighbor
+searches: for each position it runs a Dijkstra from the previous PoI to
+the nearest *perfect* match; on the final leg, every *semantic* match
+settled before (and including) the perfect one yields a complete
+sequenced route.  One of the seeds therefore has semantic score 0
+(giving the ``l̄(ϕ)`` threshold of Algorithm 4) and the others trade
+semantic score for length, tightening thresholds at higher semantic
+levels — without any extra graph traversal.
+
+Degenerate cases are handled conservatively: when a leg has no
+reachable perfect match the chain stops early (the skyline simply
+receives fewer or no seeds and BSSR proceeds unbounded, still exact);
+PoIs already used by the chain are skipped (route distinctness,
+Definition 3.4 iii).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.dominance import SkylineSet
+from repro.core.routes import SkylineRoute
+from repro.core.spec import CompiledQuery
+from repro.core.stats import SearchStats
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.scoring import SemanticAggregator
+
+
+def nninit(
+    network: RoadNetwork,
+    query: CompiledQuery,
+    aggregator: SemanticAggregator,
+    skyline: SkylineSet,
+    stats: SearchStats | None = None,
+    dest_dist: dict[int, float] | None = None,
+) -> list[SkylineRoute]:
+    """Seed ``skyline`` with greedily found sequenced routes.
+
+    Returns the routes *offered* to the skyline set (before dominance
+    filtering) so callers can compute Table 7's length ratio.  When the
+    query has a destination, ``dest_dist`` (distances *to* the
+    destination) must be supplied so seeded lengths are total lengths.
+    """
+    n = query.size
+    specs = query.specs
+    found_routes: list[SkylineRoute] = []
+    prefix_pois: list[int] = []
+    prefix_sims: list[float] = []
+    length = 0.0
+    state = aggregator.initial(n)
+    source = query.start
+
+    for position, spec in enumerate(specs):
+        is_last = position == n - 1
+        used = set(prefix_pois)
+        dist: dict[int, float] = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        settled: set[int] = set()
+        found: tuple[float, int] | None = None
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if stats is not None:
+                stats.settled += 1
+            usable = u not in used
+            if is_last and usable:
+                sim = spec.sim_map.get(u)
+                if sim is not None:
+                    total = length + d
+                    if dest_dist is not None:
+                        leg = dest_dist.get(u, math.inf)
+                        total = length + d + leg
+                    if total < math.inf:
+                        end_state = aggregator.extend(state, sim)
+                        route = SkylineRoute(
+                            pois=tuple(prefix_pois) + (u,),
+                            length=total,
+                            semantic=aggregator.score(end_state),
+                            sims=tuple(prefix_sims) + (sim,),
+                        )
+                        found_routes.append(route)
+                        skyline.update(route)
+                    if u in spec.perfect:
+                        found = (d, u)
+                        break
+            elif usable and u in spec.perfect:
+                found = (d, u)
+                break
+            for v, w in network.neighbors(u):
+                if stats is not None:
+                    stats.relaxed += 1
+                nd = d + w
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        if found is None:
+            break  # no reachable perfect match: stop seeding, stay exact
+        d, u = found
+        length += d
+        prefix_pois.append(u)
+        prefix_sims.append(1.0)
+        state = aggregator.extend(state, 1.0)
+        source = u
+
+    if stats is not None:
+        stats.init_routes = len(found_routes)
+        stats.init_length_ratio = _length_ratio(found_routes)
+    return found_routes
+
+
+def _length_ratio(routes: list[SkylineRoute]) -> float | None:
+    """Table 7's "Ratio": length of the max-semantic seed over the
+    length of the semantic-0 seed."""
+    perfect = [r for r in routes if r.semantic <= 0.0]
+    if not perfect or not routes:
+        return None
+    base = min(r.length for r in perfect)
+    if base <= 0.0:
+        return None
+    worst = max(routes, key=lambda r: r.semantic)
+    return worst.length / base

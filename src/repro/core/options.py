@@ -1,0 +1,69 @@
+"""BSSR configuration: every Section 5.3 optimization is toggleable.
+
+The paper's "BSSR w/o Opt" baseline (Figure 3) is
+:meth:`BSSROptions.without_optimizations`; the ablation experiments
+(Tables 7–8, Figures 4–5) toggle one technique at a time.  The
+correctness tests assert that *every* combination returns identical
+skyline scores — the optimizations are pure pruning, never semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BSSROptions:
+    """Feature flags for the bulk SkySR algorithm.
+
+    Attributes:
+        initial_search: run NNinit (Algorithm 3) to seed the upper
+            bound (Section 5.3.1).
+        priority_queue: use the proposed queue order — size descending,
+            semantic ascending, length ascending (Section 5.3.2);
+            ``False`` falls back to the conventional distance-based
+            order.
+        lower_bounds: compute the semantic-match minimum distances
+            ``l_s`` (Algorithm 4) and add them to partial lengths when
+            pruning (Section 5.3.3).
+        perfect_match_bound: additionally apply Lemma 5.8's
+            perfect-match minimum distance ``l_p`` rule (requires
+            ``lower_bounds``).
+        caching: reuse modified-Dijkstra expansions via the on-the-fly
+            cache (Section 5.3.4).  Automatically (and exactly) bypassed
+            when query positions share category trees.
+        max_routes_expanded: optional safety valve for interactive
+            services; ``None`` (default) never truncates.  When hit, the
+            query raises :class:`~repro.errors.AlgorithmError`.
+    """
+
+    initial_search: bool = True
+    priority_queue: bool = True
+    lower_bounds: bool = True
+    perfect_match_bound: bool = True
+    caching: bool = True
+    max_routes_expanded: int | None = None
+
+    @classmethod
+    def all_enabled(cls) -> "BSSROptions":
+        """The full BSSR configuration (the paper's "BSSR")."""
+        return cls()
+
+    @classmethod
+    def without_optimizations(cls) -> "BSSROptions":
+        """The paper's "BSSR w/o Opt": plain branch-and-bound only."""
+        return cls(
+            initial_search=False,
+            priority_queue=False,
+            lower_bounds=False,
+            perfect_match_bound=False,
+            caching=False,
+        )
+
+    def but(self, **changes) -> "BSSROptions":
+        """A copy with some flags changed (ablation helper)."""
+        return replace(self, **changes)
+
+    def effective_perfect_bound(self) -> bool:
+        """Lemma 5.8 needs the ``l_s``/``l_p`` machinery to be active."""
+        return self.perfect_match_bound and self.lower_bounds

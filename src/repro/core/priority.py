@@ -1,0 +1,31 @@
+"""Priority policies for BSSR's route queue ``Q_b`` (Section 5.3.2).
+
+The paper proposes ordering partial routes by (size descending,
+semantic score ascending, length ascending) so that near-complete,
+semantically good routes are finished first, tightening the upper bound
+early.  The conventional alternative — distance only — is kept both as
+the ablation baseline of Table 8 and as the ``BSSR w/o Opt`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.routes import PartialRoute
+
+#: a priority policy maps a route to a heap key (smaller pops first)
+PriorityKey = Callable[[PartialRoute], tuple]
+
+
+def proposed_priority(route: PartialRoute) -> tuple:
+    """Section 5.3.2: size ↓, then semantic ↑, then length ↑."""
+    return (-route.size, route.semantic, route.length)
+
+
+def distance_priority(route: PartialRoute) -> tuple:
+    """Conventional distance-based order (ablation baseline)."""
+    return (route.length,)
+
+
+def policy_for(use_proposed: bool) -> PriorityKey:
+    return proposed_priority if use_proposed else distance_priority

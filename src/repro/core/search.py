@@ -1,0 +1,182 @@
+"""The modified Dijkstra algorithm (Algorithm 2) as a resumable search.
+
+:class:`PoICandidateSearch` expands the road network outward from a
+source vertex and *emits candidates*: PoI vertices that semantically
+match one position spec and survive Lemma 5.5's two filters —
+
+* (i) a PoI reached through another usable PoI of greater-or-equal
+  similarity is suppressed (the route through it is dominated by the
+  substitution route);
+* (ii) traversal never continues *through* a usable perfect match
+  (anything beyond is dominated by the route using that PoI).
+
+"Usable" means not excluded — a PoI already on the route being extended
+can neither be emitted nor justify a substitution (Definition 3.4
+requires distinct PoIs), so excluded PoIs are transparent to both
+filters.
+
+The search is *resumable*: it settles vertices in distance order and
+pauses when the consumer's budget (Lemma 5.3's threshold, re-evaluated
+continuously as the skyline set improves) is reached.  BSSR's
+on-the-fly cache (Section 5.3.4) keeps one instance per
+``(source, position)`` and simply resumes it when a later route needs a
+larger radius — reuse never sacrifices exactness.  Route-independent
+caching is only used when query positions draw candidates from disjoint
+category trees; otherwise BSSR builds throw-away instances with
+per-route exclusions (still exact, no reuse).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterator
+
+from repro.core.spec import PositionSpec
+from repro.core.stats import SearchStats
+from repro.graph.road_network import RoadNetwork
+
+
+class PoICandidateSearch:
+    """Resumable modified Dijkstra toward one position's candidates."""
+
+    __slots__ = (
+        "_network",
+        "_spec",
+        "source",
+        "_exclude",
+        "_stats",
+        "_dist",
+        "_path_sim",
+        "_settled",
+        "_heap",
+        "candidates",
+        "radius",
+    )
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        spec: PositionSpec,
+        source: int,
+        *,
+        exclude: frozenset[int] = frozenset(),
+        stats: SearchStats | None = None,
+    ) -> None:
+        self._network = network
+        self._spec = spec
+        self.source = source
+        self._exclude = exclude
+        self._stats = stats
+        self._dist: dict[int, float] = {source: 0.0}
+        # max similarity of any usable PoI strictly on the recorded
+        # shortest path from the source (Lemma 5.5 i)
+        self._path_sim: dict[int, float] = {source: 0.0}
+        self._settled: set[int] = set()
+        self._heap: list[tuple[float, int]] = [(0.0, source)]
+        #: emitted candidates ``(distance, vid, similarity)`` in distance order
+        self.candidates: list[tuple[float, int, float]] = []
+        #: largest settled distance (the Table 7 "weight sum" proxy)
+        self.radius = 0.0
+
+    # ------------------------------------------------------------------
+    # low-level stepping
+    # ------------------------------------------------------------------
+
+    def _skim(self) -> None:
+        heap = self._heap
+        settled = self._settled
+        while heap and heap[0][1] in settled:
+            heapq.heappop(heap)
+
+    def next_distance(self) -> float:
+        """Distance of the next settle (inf when exhausted)."""
+        self._skim()
+        return self._heap[0][0] if self._heap else math.inf
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_distance() == math.inf
+
+    def _settle_one(self) -> None:
+        """Settle the next vertex: emit, maybe stop-through, relax.
+
+        Per-vertex state (tentative distance, path similarity) is
+        released once a vertex settles — cached searches live for a
+        whole BSSR run (Section 5.3.4), so they keep only what a resume
+        can still read: the frontier and the emitted candidates.
+        """
+        d, u = heapq.heappop(self._heap)
+        settled = self._settled
+        settled.add(u)
+        self._dist.pop(u, None)
+        path_sim = self._path_sim.pop(u, 0.0)
+        self.radius = d
+        stats = self._stats
+        if stats is not None:
+            stats.settled += 1
+        sim = self._spec.sim_map.get(u)
+        usable = sim is not None and u not in self._exclude
+        if usable and sim > path_sim:  # type: ignore[operator]
+            self.candidates.append((d, u, sim))  # type: ignore[arg-type]
+        if usable and sim >= 1.0:  # type: ignore[operator]
+            return  # Lemma 5.5 (ii): never traverse through a perfect match
+        through = path_sim
+        if usable and sim > through:  # type: ignore[operator]
+            through = sim  # type: ignore[assignment]
+        dist = self._dist
+        heap = self._heap
+        path_sims = self._path_sim
+        for v, w in self._network.neighbors(u):
+            if stats is not None:
+                stats.relaxed += 1
+            if v in settled:
+                continue
+            nd = d + w
+            old = dist.get(v, math.inf)
+            if nd < old:
+                dist[v] = nd
+                path_sims[v] = through
+                heapq.heappush(heap, (nd, v))
+                if stats is not None:
+                    stats.heap_pushes += 1
+            elif nd == old and through < path_sims.get(v, 0.0):
+                # Equal-length tie: remember the cleanest path so fewer
+                # candidates are suppressed (either choice is exact).
+                path_sims[v] = through
+
+    # ------------------------------------------------------------------
+    # consumer interface
+    # ------------------------------------------------------------------
+
+    def candidates_until(
+        self, budget: Callable[[], float] | float
+    ) -> Iterator[tuple[float, int, float]]:
+        """Yield candidates with distance < budget, expanding on demand.
+
+        ``budget`` may be a callable: BSSR's threshold tightens while
+        the search runs (skyline updates shrink it), and a cached search
+        serves consumers with different budgets.  Already-discovered
+        candidates are replayed first; the underlying Dijkstra resumes
+        only when the budget allows settling farther vertices.
+        """
+        budget_fn: Callable[[], float] = (
+            budget if callable(budget) else (lambda: budget)  # type: ignore[assignment]
+        )
+        i = 0
+        while True:
+            while i < len(self.candidates):
+                entry = self.candidates[i]
+                if entry[0] >= budget_fn():
+                    return
+                yield entry
+                i += 1
+            nxt = self.next_distance()
+            if nxt == math.inf or nxt >= budget_fn():
+                return
+            self._settle_one()
+
+    def expand_fully(self) -> None:
+        """Exhaust the search (used by tests and ablations)."""
+        while not self.exhausted:
+            self._settle_one()

@@ -1,0 +1,153 @@
+"""Search statistics collected by every algorithm.
+
+The paper's evaluation (Section 7) reports, beyond response time:
+visited-vertex counts (Table 8), the first-search "weight sum" radius
+(Table 7), the number of modified-Dijkstra executions (Figure 5),
+initial-search metrics (Table 7), and memory (Table 6).  Each query
+returns a fully populated :class:`SearchStats` so the experiment
+harness never needs to instrument algorithm internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters for one query execution."""
+
+    algorithm: str = ""
+    #: wall-clock seconds for the whole query
+    elapsed: float = 0.0
+
+    # graph traversal volume
+    settled: int = 0
+    relaxed: int = 0
+    heap_pushes: int = 0
+
+    # modified-Dijkstra bookkeeping (Figure 5)
+    mdijkstra_runs: int = 0
+    mdijkstra_resumes: int = 0
+    cache_hits: int = 0
+
+    # route queue Q_b (Table 8 / Section 5.3.2)
+    routes_enqueued: int = 0
+    routes_expanded: int = 0
+    routes_pruned_on_pop: int = 0
+    routes_pruned_on_insert: int = 0
+    max_queue_size: int = 0
+
+    # skyline set
+    skyline_updates: int = 0
+    skyline_rejects: int = 0
+    result_size: int = 0
+
+    # initial search (Table 7)
+    init_routes: int = 0
+    init_time: float = 0.0
+    init_length_ratio: float | None = None
+    #: radius (max settled distance) of the *first* modified Dijkstra —
+    #: the paper's Table 7 "weight sum" search-space proxy
+    first_search_radius: float = 0.0
+
+    # lower bounds (Figure 4)
+    bounds_time: float = 0.0
+    sum_ls: float = 0.0
+    sum_lp: float = 0.0
+
+    # baselines
+    osr_calls: int = 0
+    super_sequences: int = 0
+
+    # memory (Table 6) — filled only when measured explicitly
+    peak_memory_bytes: int = 0
+
+    #: free-form extras (experiment-specific)
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat dict for table rendering / JSON export."""
+        payload = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "extra"
+        }
+        payload.update(self.extra)
+        return payload
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's counters into this one (sums)."""
+        for key in (
+            "elapsed",
+            "settled",
+            "relaxed",
+            "heap_pushes",
+            "mdijkstra_runs",
+            "mdijkstra_resumes",
+            "cache_hits",
+            "routes_enqueued",
+            "routes_expanded",
+            "routes_pruned_on_pop",
+            "routes_pruned_on_insert",
+            "skyline_updates",
+            "skyline_rejects",
+            "result_size",
+            "init_routes",
+            "init_time",
+            "first_search_radius",
+            "bounds_time",
+            "sum_ls",
+            "sum_lp",
+            "osr_calls",
+            "super_sequences",
+        ):
+            setattr(self, key, getattr(self, key) + getattr(other, key))
+        self.max_queue_size = max(self.max_queue_size, other.max_queue_size)
+        self.peak_memory_bytes = max(
+            self.peak_memory_bytes, other.peak_memory_bytes
+        )
+
+
+def mean_stats(all_stats: list[SearchStats]) -> SearchStats:
+    """Average a list of per-query stats (used by the harness)."""
+    if not all_stats:
+        return SearchStats()
+    total = SearchStats(algorithm=all_stats[0].algorithm)
+    for stats in all_stats:
+        total.merge(stats)
+    n = len(all_stats)
+    for key in (
+        "elapsed",
+        "settled",
+        "relaxed",
+        "heap_pushes",
+        "mdijkstra_runs",
+        "mdijkstra_resumes",
+        "cache_hits",
+        "routes_enqueued",
+        "routes_expanded",
+        "routes_pruned_on_pop",
+        "routes_pruned_on_insert",
+        "skyline_updates",
+        "skyline_rejects",
+        "result_size",
+        "init_routes",
+        "init_time",
+        "first_search_radius",
+        "bounds_time",
+        "sum_ls",
+        "sum_lp",
+        "osr_calls",
+        "super_sequences",
+    ):
+        setattr(total, key, getattr(total, key) / n)
+    ratios = [
+        s.init_length_ratio
+        for s in all_stats
+        if s.init_length_ratio is not None
+    ]
+    total.init_length_ratio = (
+        sum(ratios) / len(ratios) if ratios else None
+    )
+    return total

@@ -1,0 +1,52 @@
+"""Datasets: synthetic generators, presets, workloads, paper example."""
+
+from repro.datasets.paper_example import (
+    Dataset,
+    figure1_dataset,
+    figure1_query,
+)
+from repro.datasets.poi_placement import (
+    assign_categories,
+    place_pois_clustered,
+    place_pois_uniform,
+    zipf_weights,
+)
+from repro.datasets.presets import (
+    PRESETS,
+    by_name,
+    cal_like,
+    mini_city,
+    nyc_like,
+    tokyo_like,
+)
+from repro.datasets.synthetic import grid_city, radial_city, random_geometric
+from repro.datasets.taxonomy import forest_statistics, synthetic_forest
+from repro.datasets.workloads import (
+    QuerySpec,
+    generate_workload,
+    popular_leaf_categories,
+)
+
+__all__ = [
+    "Dataset",
+    "figure1_dataset",
+    "figure1_query",
+    "grid_city",
+    "radial_city",
+    "random_geometric",
+    "place_pois_uniform",
+    "place_pois_clustered",
+    "assign_categories",
+    "zipf_weights",
+    "synthetic_forest",
+    "forest_statistics",
+    "tokyo_like",
+    "nyc_like",
+    "cal_like",
+    "mini_city",
+    "by_name",
+    "PRESETS",
+    "QuerySpec",
+    "generate_workload",
+    "popular_leaf_categories",
+]

@@ -1,0 +1,124 @@
+"""The running example of the paper (Figure 1 / Example 1.1).
+
+A small hand-built road network with 13 PoIs named ``p1 … p13`` whose
+categories follow Figure 1: Asian restaurants (A), Italian restaurants
+(I), Arts & Entertainment places, Gift shops (G) and Hobby shops (H),
+plus the start vertex ``vq``.  The exact geometry of the paper's figure
+is not fully specified, so this instance reproduces its *semantics*
+(which categories exist where, who matches whom) on a regular grid; the
+test suite uses it for end-to-end sanity checks (e.g. BSSR equals the
+brute-force oracle, the skyline contains both perfect and generalized
+routes).
+
+All edge weights are small integers, so length scores are exact floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.category import CategoryForest
+from repro.semantics.foursquare import build_foursquare_forest
+
+
+@dataclass
+class Dataset:
+    """A bundled benchmark instance: network + forest (+ markers)."""
+
+    name: str
+    network: RoadNetwork
+    forest: CategoryForest
+    landmarks: dict[str, int] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    _index: PoIIndex | None = field(default=None, repr=False)
+
+    @property
+    def index(self) -> PoIIndex:
+        if self._index is None:
+            self._index = PoIIndex(self.network, self.forest)
+        return self._index
+
+    def summary(self) -> dict:
+        card = dict(self.network.summary())
+        card["name"] = self.name
+        card["categories"] = len(self.forest)
+        card["trees"] = len(self.forest.roots)
+        return card
+
+
+# grid shape of the example instance
+_ROWS, _COLS = 5, 6
+_SPACING = 2.0  # so midpoint splits give integer sub-weights
+
+
+def figure1_dataset() -> Dataset:
+    """Build the Figure-1 example instance (deterministic)."""
+    forest = build_foursquare_forest()
+    network = RoadNetwork()
+
+    ids: list[list[int]] = []
+    for r in range(_ROWS):
+        row = []
+        for c in range(_COLS):
+            row.append(network.add_vertex(c * _SPACING, r * _SPACING))
+        ids.append(row)
+    for r in range(_ROWS):
+        for c in range(_COLS):
+            if c + 1 < _COLS:
+                network.add_edge(ids[r][c], ids[r][c + 1], _SPACING)
+            if r + 1 < _ROWS:
+                network.add_edge(ids[r][c], ids[r + 1][c], _SPACING)
+
+    asian = forest.resolve("Asian Restaurant")
+    italian = forest.resolve("Italian Restaurant")
+    arts = forest.resolve("Arts & Entertainment")
+    museum = forest.resolve("Museum")
+    gift = forest.resolve("Gift Shop")
+    hobby = forest.resolve("Hobby Shop")
+
+    def split(r1: int, c1: int, r2: int, c2: int, category: int) -> int:
+        """Embed a PoI at the midpoint of a grid edge (weights 1 + 1)."""
+        u, v = ids[r1][c1], ids[r2][c2]
+        cu, cv = network.coords(u), network.coords(v)
+        assert cu is not None and cv is not None
+        pid = network.add_poi(
+            category, (cu[0] + cv[0]) / 2.0, (cu[1] + cv[1]) / 2.0
+        )
+        network.add_edge(u, pid, 1.0)
+        network.add_edge(pid, v, 1.0)
+        return pid
+
+    landmarks = {
+        "vq": ids[2][0],
+        # Figure 1 PoIs (category letters as in the paper's legend)
+        "p1": split(1, 0, 1, 1, italian),   # I
+        "p2": split(2, 1, 2, 2, asian),     # A — closest Asian to vq
+        "p3": split(0, 3, 0, 4, hobby),     # H
+        "p4": split(1, 4, 1, 5, hobby),     # H
+        "p5": split(2, 2, 2, 3, arts),      # A&E
+        "p6": split(3, 0, 3, 1, asian),     # A
+        "p7": split(2, 3, 2, 4, hobby),     # H (semantic match for Gift)
+        "p8": split(2, 4, 2, 5, gift),      # G
+        "p9": split(3, 2, 3, 3, museum),    # A&E subtree
+        "p10": split(1, 1, 2, 1, asian),    # A
+        "p11": split(4, 0, 4, 1, italian),  # I
+        "p12": split(1, 2, 1, 3, arts),     # A&E
+        "p13": split(1, 3, 1, 4, gift),     # G
+    }
+    return Dataset(
+        name="figure1",
+        network=network,
+        forest=forest,
+        landmarks=landmarks,
+        meta={
+            "source": "paper Figure 1 / Example 1.1 (reconstructed geometry)",
+            "query": ("Asian Restaurant", "Arts & Entertainment", "Gift Shop"),
+        },
+    )
+
+
+def figure1_query() -> tuple[str, str, str]:
+    """The Example 1.1 category sequence."""
+    return ("Asian Restaurant", "Arts & Entertainment", "Gift Shop")

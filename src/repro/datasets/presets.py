@@ -1,0 +1,166 @@
+"""Preset datasets: laptop-scale stand-ins for the paper's Table 5.
+
+=========  ==========================  ===========================================
+preset     paper dataset               reproduced structural properties
+=========  ==========================  ===========================================
+tokyo_like Tokyo (OSM + Foursquare)    dense urban grid, |P|/|V| ≈ 0.43,
+                                       *dispersed* PoIs, 10-tree taxonomy
+nyc_like   New York City               dense grid, |P|/|V| ≈ 0.39, strongly
+                                       *clustered* PoIs, 10-tree taxonomy
+cal_like   California (Li et al.)      sparse intercity network, |P| ≫ |V|
+                                       (≈ 4.1×), synthetic height-3/fanout-3
+                                       forest (the paper's own footnote-5 rule)
+=========  ==========================  ===========================================
+
+Absolute sizes are scaled down (Python, single laptop); the ``scale``
+parameter trades fidelity for speed, and each dataset records the
+paper's original Table-5 numbers in ``meta["paper"]``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.paper_example import Dataset, figure1_dataset
+from repro.datasets.poi_placement import (
+    place_pois_clustered,
+    place_pois_uniform,
+)
+from repro.datasets.synthetic import grid_city, random_geometric
+from repro.datasets.taxonomy import synthetic_forest
+from repro.errors import DataError
+from repro.semantics.foursquare import build_foursquare_forest
+
+
+def _side(base: int, scale: float) -> int:
+    side = int(round(base * (scale**0.5)))
+    return max(4, side)
+
+
+def tokyo_like(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """Dense urban grid with dispersed PoIs (Tokyo regime)."""
+    if scale <= 0:
+        raise DataError("scale must be positive")
+    side = _side(56, scale)
+    network = grid_city(
+        side,
+        side,
+        spacing=1.0,
+        jitter=0.15,
+        removal_prob=0.08,
+        diagonal_prob=0.06,
+        seed=seed,
+    )
+    forest = build_foursquare_forest()
+    num_pois = int(0.43 * network.num_vertices)
+    place_pois_uniform(
+        network, forest, num_pois, skew=0.9, seed=seed + 1
+    )
+    return Dataset(
+        name="tokyo-like",
+        network=network,
+        forest=forest,
+        meta={
+            "paper": {"dataset": "Tokyo", "|V|": 401_893, "|P|": 174_421, "|E|": 499_397},
+            "placement": "uniform",
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+
+def nyc_like(scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Dense urban grid with strongly clustered PoIs (NYC regime)."""
+    if scale <= 0:
+        raise DataError("scale must be positive")
+    side = _side(64, scale)
+    network = grid_city(
+        side,
+        side,
+        spacing=1.0,
+        jitter=0.12,
+        removal_prob=0.06,
+        diagonal_prob=0.04,
+        seed=seed,
+    )
+    forest = build_foursquare_forest()
+    num_pois = int(0.39 * network.num_vertices)
+    place_pois_clustered(
+        network,
+        forest,
+        num_pois,
+        num_clusters=max(3, side // 8),
+        walk_length=3,
+        skew=1.0,
+        seed=seed + 1,
+    )
+    return Dataset(
+        name="nyc-like",
+        network=network,
+        forest=forest,
+        meta={
+            "paper": {"dataset": "NYC", "|V|": 1_150_744, "|P|": 451_051, "|E|": 1_722_350},
+            "placement": "clustered",
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+
+def cal_like(scale: float = 1.0, seed: int = 3) -> Dataset:
+    """Sparse intercity network where PoIs outnumber road vertices."""
+    if scale <= 0:
+        raise DataError("scale must be positive")
+    n = max(60, int(round(950 * scale)))
+    network = random_geometric(n, k_neighbors=3, extent=14.0, seed=seed)
+    # The paper's Cal forest: synthetic height-3 trees (footnote 5); the
+    # dataset has 635 categories — 49 trees of 13 categories ≈ 637.
+    forest = synthetic_forest(49, height=3, fanout=3, prefix="Cal")
+    num_pois = int(4.1 * network.num_vertices)
+    place_pois_clustered(
+        network,
+        forest,
+        num_pois,
+        num_clusters=max(4, n // 60),
+        walk_length=2,
+        skew=0.8,
+        seed=seed + 1,
+    )
+    return Dataset(
+        name="cal-like",
+        network=network,
+        forest=forest,
+        meta={
+            "paper": {"dataset": "Cal", "|V|": 21_048, "|P|": 87_365, "|E|": 108_863},
+            "placement": "clustered",
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+
+def mini_city() -> Dataset:
+    """The deterministic Figure-1 instance (quickstart / tests)."""
+    data = figure1_dataset()
+    data.landmarks.setdefault("station", data.landmarks["vq"])
+    return data
+
+
+#: preset registry for the CLI and the experiment harness
+PRESETS = {
+    "tokyo": tokyo_like,
+    "nyc": nyc_like,
+    "cal": cal_like,
+}
+
+
+def by_name(name: str, scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """Instantiate a preset by registry name."""
+    if name in ("mini", "figure1"):
+        return mini_city()
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS) + ["mini"])
+        raise DataError(f"unknown preset {name!r} (known: {known})") from None
+    if seed is None:
+        return factory(scale)
+    return factory(scale, seed)

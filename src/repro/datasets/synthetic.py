@@ -1,0 +1,224 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on OpenStreetMap extracts (Tokyo, NYC) and the
+public California road network.  Neither is reachable in this offline
+environment, so these generators produce laptop-scale networks with the
+*structural properties* the SkySR algorithms are sensitive to:
+
+* :func:`grid_city` — planar, near-4-regular street grids with jittered
+  geometry, random diagonals (shortcuts) and random street removals:
+  the urban OSM regime (Tokyo/NYC);
+* :func:`random_geometric` — sparse low-degree networks connecting
+  scattered settlements: the intercity California regime;
+* :func:`radial_city` — ring-and-spoke layouts, a common European city
+  shape (used in tests and the prototype-service demo).
+
+All generators take an explicit seed, always return *connected*
+undirected networks with coordinates, and use edge weights equal to
+Euclidean segment lengths (the paper uses lon/lat distances).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import DataError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.spatial import euclidean
+
+
+class _UnionFind:
+    """Tiny union-find for connectivity repair after edge removal."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float = 1.0,
+    jitter: float = 0.15,
+    removal_prob: float = 0.08,
+    diagonal_prob: float = 0.05,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A jittered street grid with removals and diagonal shortcuts.
+
+    Removals are repaired so the result is always connected: removed
+    edges that would disconnect the network are re-added.
+    """
+    if rows < 2 or cols < 2:
+        raise DataError("grid_city needs at least a 2x2 grid")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    ids: list[list[int]] = []
+    for r in range(rows):
+        row_ids = []
+        for c in range(cols):
+            dx = rng.uniform(-jitter, jitter) * spacing
+            dy = rng.uniform(-jitter, jitter) * spacing
+            row_ids.append(network.add_vertex(c * spacing + dx, r * spacing + dy))
+        ids.append(row_ids)
+
+    candidates: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                candidates.append((ids[r][c], ids[r][c + 1]))
+            if r + 1 < rows:
+                candidates.append((ids[r][c], ids[r + 1][c]))
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_prob
+            ):
+                if rng.random() < 0.5:
+                    candidates.append((ids[r][c], ids[r + 1][c + 1]))
+                else:
+                    candidates.append((ids[r][c + 1], ids[r + 1][c]))
+
+    kept: list[tuple[int, int]] = []
+    removed: list[tuple[int, int]] = []
+    for edge in candidates:
+        if rng.random() < removal_prob:
+            removed.append(edge)
+        else:
+            kept.append(edge)
+    # Reconnect: re-add removed edges that bridge components.
+    uf = _UnionFind(network.num_vertices)
+    for u, v in kept:
+        uf.union(u, v)
+    rng.shuffle(removed)
+    for u, v in removed:
+        if uf.union(u, v):
+            kept.append((u, v))
+
+    for u, v in kept:
+        cu, cv = network.coords(u), network.coords(v)
+        assert cu is not None and cv is not None
+        network.add_edge(u, v, euclidean(cu, cv))
+    return network
+
+
+def random_geometric(
+    n: int,
+    *,
+    k_neighbors: int = 3,
+    extent: float = 10.0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Sparse k-nearest-neighbor network over random points.
+
+    Low average degree and long inter-settlement hops — the shape of
+    the California highway dataset.  Connectivity is enforced by
+    linking each leftover component to its nearest settled neighbor.
+    """
+    if n < 2:
+        raise DataError("random_geometric needs at least 2 vertices")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    points: list[tuple[float, float]] = []
+    for _ in range(n):
+        point = (rng.uniform(0.0, extent), rng.uniform(0.0, extent))
+        points.append(point)
+        network.add_vertex(*point)
+
+    uf = _UnionFind(n)
+    seen: set[tuple[int, int]] = set()
+    for vid in range(n):
+        by_dist = sorted(
+            (euclidean(points[vid], points[other]), other)
+            for other in range(n)
+            if other != vid
+        )
+        for d, other in by_dist[:k_neighbors]:
+            key = (min(vid, other), max(vid, other))
+            if key in seen:
+                continue
+            seen.add(key)
+            network.add_edge(vid, other, d)
+            uf.union(vid, other)
+
+    # Stitch components together via their closest cross pairs.
+    while True:
+        roots: dict[int, list[int]] = {}
+        for vid in range(n):
+            roots.setdefault(uf.find(vid), []).append(vid)
+        if len(roots) == 1:
+            break
+        groups = sorted(roots.values(), key=len, reverse=True)
+        main, rest = groups[0], groups[1:]
+        for group in rest:
+            best = min(
+                (
+                    (euclidean(points[a], points[b]), a, b)
+                    for a in group
+                    for b in main
+                ),
+            )
+            d, a, b = best
+            network.add_edge(a, b, d)
+            uf.union(a, b)
+    return network
+
+
+def radial_city(
+    rings: int,
+    spokes: int,
+    *,
+    ring_spacing: float = 1.0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Concentric ring roads joined by radial spokes, plus a center."""
+    if rings < 1 or spokes < 3:
+        raise DataError("radial_city needs >=1 ring and >=3 spokes")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    center = network.add_vertex(0.0, 0.0)
+    ring_ids: list[list[int]] = []
+    for ring in range(1, rings + 1):
+        radius = ring * ring_spacing
+        ids = []
+        for s in range(spokes):
+            angle = 2.0 * math.pi * s / spokes + rng.uniform(-0.05, 0.05)
+            ids.append(
+                network.add_vertex(
+                    radius * math.cos(angle), radius * math.sin(angle)
+                )
+            )
+        ring_ids.append(ids)
+    for s in range(spokes):
+        prev = center
+        for ring in range(rings):
+            cur = ring_ids[ring][s]
+            ca, cb = network.coords(prev), network.coords(cur)
+            assert ca is not None and cb is not None
+            network.add_edge(prev, cur, euclidean(ca, cb))
+            prev = cur
+    for ring in range(rings):
+        for s in range(spokes):
+            a = ring_ids[ring][s]
+            b = ring_ids[ring][(s + 1) % spokes]
+            ca, cb = network.coords(a), network.coords(b)
+            assert ca is not None and cb is not None
+            network.add_edge(a, b, euclidean(ca, cb))
+    return network

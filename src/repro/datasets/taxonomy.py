@@ -1,0 +1,51 @@
+"""Synthetic category-forest generation.
+
+The California dataset ships PoI categories without any hierarchy; the
+paper synthesizes one ("we generate a category of height three where a
+non-leaf node has three child nodes", footnote 5).
+:func:`synthetic_forest` generalizes that construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataError
+from repro.semantics.category import CategoryForest
+
+
+def synthetic_forest(
+    num_trees: int,
+    *,
+    height: int = 3,
+    fanout: int = 3,
+    prefix: str = "Cat",
+) -> CategoryForest:
+    """A uniform forest: ``num_trees`` trees of the given height/fanout.
+
+    Height counts levels (the paper's Cal forest has height 3: root,
+    middle, leaves).  Category names are ``{prefix}{tree}.{path}``.
+    """
+    if num_trees < 1 or height < 1 or fanout < 1:
+        raise DataError("num_trees, height and fanout must be positive")
+    forest = CategoryForest()
+    for t in range(num_trees):
+        root = forest.add_root(f"{prefix}{t}")
+        frontier = [(root, f"{prefix}{t}")]
+        for _level in range(height - 1):
+            next_frontier = []
+            for parent, name in frontier:
+                for child_idx in range(fanout):
+                    child_name = f"{name}.{child_idx}"
+                    cid = forest.add_child(parent, child_name)
+                    next_frontier.append((cid, child_name))
+            frontier = next_frontier
+    return forest
+
+
+def forest_statistics(forest: CategoryForest) -> dict[str, int]:
+    """Tree count / category count / leaf count / max depth summary."""
+    return {
+        "trees": len(forest.roots),
+        "categories": len(forest),
+        "leaves": len(forest.leaves()),
+        "max_depth": forest.max_depth(),
+    }

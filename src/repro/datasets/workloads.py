@@ -1,0 +1,100 @@
+"""Query workload generation (Section 7.1).
+
+"For each dataset, we generate 100 searches ... The start points are
+selected randomly from vertices in the maps.  The categories of
+sequences are selected randomly from the leaf nodes in the category
+trees with the constraint that they have different category trees.
+Since the number of PoI vertices associated with each category is
+significantly biased, we select only categories that have a large
+number of PoI vertices."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.paper_example import Dataset
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query: start vertex + category-id sequence."""
+
+    start: int
+    categories: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.categories)
+
+
+def popular_leaf_categories(
+    dataset: Dataset,
+    *,
+    min_count: int | None = None,
+    leaf_only: bool = True,
+) -> list[int]:
+    """Leaf categories with "a large number" of PoIs.
+
+    Default threshold: at least the median count over populated leaves
+    (and never fewer than 2 PoIs).  ``leaf_only=False`` widens the pool
+    to every populated category — useful for hand-built datasets whose
+    PoIs carry inner categories (the paper's workloads always use
+    leaves, which the default enforces).
+    """
+    counts = dataset.index.category_counts()
+    pool = dataset.forest.leaves() if leaf_only else list(counts)
+    populated = [
+        (cid, counts.get(cid, 0)) for cid in pool if counts.get(cid, 0) > 0
+    ]
+    if not populated:
+        raise DataError(f"dataset {dataset.name} has no populated leaves")
+    if min_count is None:
+        ordered = sorted(count for _, count in populated)
+        median = ordered[len(ordered) // 2]
+        min_count = max(2, median)
+    return [cid for cid, count in populated if count >= min_count]
+
+
+def generate_workload(
+    dataset: Dataset,
+    sequence_size: int,
+    num_queries: int,
+    *,
+    seed: int = 0,
+    min_count: int | None = None,
+    road_vertices_only: bool = True,
+    leaf_only: bool = True,
+) -> list[QuerySpec]:
+    """Random queries per the paper's recipe (distinct category trees)."""
+    if sequence_size < 1:
+        raise DataError("sequence_size must be >= 1")
+    rng = random.Random(seed)
+    forest = dataset.forest
+    candidates = popular_leaf_categories(
+        dataset, min_count=min_count, leaf_only=leaf_only
+    )
+    by_tree: dict[int, list[int]] = {}
+    for cid in candidates:
+        by_tree.setdefault(forest.tree_id(cid), []).append(cid)
+    if len(by_tree) < sequence_size:
+        raise DataError(
+            f"dataset {dataset.name} has only {len(by_tree)} populated "
+            f"trees; cannot build sequences of size {sequence_size}"
+        )
+    network = dataset.network
+    if road_vertices_only:
+        starts = [v for v in network.vertices() if not network.is_poi(v)]
+    else:
+        starts = list(network.vertices())
+    tree_ids = list(by_tree)
+    queries = []
+    for _ in range(num_queries):
+        trees = rng.sample(tree_ids, sequence_size)
+        cats = tuple(by_tree[t][rng.randrange(len(by_tree[t]))] for t in trees)
+        queries.append(
+            QuerySpec(start=starts[rng.randrange(len(starts))], categories=cats)
+        )
+    return queries

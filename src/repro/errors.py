@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single exception type at the service boundary while the
+library internally raises precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Road-network structural errors (unknown vertices, bad weights)."""
+
+
+class CategoryError(ReproError):
+    """Category-forest errors (unknown names, duplicate names, cycles)."""
+
+
+class QueryError(ReproError):
+    """Malformed SkySR queries (empty sequence, unknown start vertex)."""
+
+
+class DataError(ReproError):
+    """Dataset generation or (de)serialization errors."""
+
+
+class AlgorithmError(ReproError):
+    """Internal algorithmic invariant violations (bugs, not user errors)."""

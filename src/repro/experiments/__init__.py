@@ -1,0 +1,32 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.harness import (
+    CellResult,
+    ExperimentConfig,
+    Report,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "Report",
+    "CellResult",
+    "run_cell",
+    "dataset_by_name",
+    "workload_for",
+    "experiment_names",
+    "run_experiment",
+    "run_all",
+]
+
+
+def __getattr__(name):
+    # Late imports: the registry pulls in every experiment module, which
+    # would otherwise make `import repro` eagerly import them all.
+    if name in ("experiment_names", "run_experiment", "run_all"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,70 @@
+"""Figure 3 — response time vs sequence size, four algorithms.
+
+The paper's headline result: BSSR is fastest on every dataset, the gap
+to the naive baselines grows dramatically with |S_q| (up to four orders
+of magnitude), and at |S_q| = 5 the baselines may not finish at all
+(missing bars — reproduced here via per-cell time budgets).
+"""
+
+from __future__ import annotations
+
+from repro.core.options import BSSROptions
+from repro.experiments.harness import (
+    CellResult,
+    ExperimentConfig,
+    Report,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+from repro.experiments.tables import format_table
+
+#: (report label, engine algorithm name, options override)
+ALGORITHMS: list[tuple[str, str, BSSROptions | None]] = [
+    ("BSSR", "bssr", None),
+    ("BSSR w/o Opt", "bssr-noopt", None),
+    ("PNE", "pne", None),
+    ("Dij", "dij", None),
+]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    *,
+    datasets: tuple[str, ...] = ("tokyo", "nyc", "cal"),
+) -> Report:
+    config = config or ExperimentConfig.from_env()
+    rows = []
+    cells: dict[tuple[str, str, int], CellResult] = {}
+    for dataset_name in datasets:
+        dataset = dataset_by_name(dataset_name, config.scale)
+        for size in config.sequence_sizes():
+            workload = workload_for(dataset, size, config)
+            row = [dataset.name, size]
+            for label, algorithm, options in ALGORITHMS:
+                cell = run_cell(
+                    dataset,
+                    workload,
+                    algorithm,
+                    time_budget=config.time_budget,
+                    options=options,
+                )
+                cells[(dataset_name, label, size)] = cell
+                row.append(cell.mean_time)
+            rows.append(row)
+    table = format_table(
+        ["dataset", "|Sq|"] + [label for label, _, _ in ALGORITHMS],
+        rows,
+        title="mean response time per query [s]; '-' = cell exceeded its "
+        f"time budget ({config.time_budget}s), as in the paper's missing bars",
+    )
+    return Report(
+        experiment="figure3",
+        title="Figure 3 — response time vs |Sq|",
+        table=table,
+        data={"rows": rows, "cells": cells},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

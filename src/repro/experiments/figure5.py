@@ -1,0 +1,73 @@
+"""Figure 5 — effect of on-the-fly caching (Section 5.3.4).
+
+Number of modified-Dijkstra executions per query with and without the
+cache.  A cache hit *resumes* a previous expansion instead of starting
+a new one, so the gap grows with |S_q| (more opportunities to land on
+the same PoI at the same position).
+"""
+
+from __future__ import annotations
+
+from repro.core.options import BSSROptions
+from repro.experiments.harness import (
+    ExperimentConfig,
+    Report,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+from repro.experiments.tables import format_table
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    *,
+    datasets: tuple[str, ...] = ("tokyo", "nyc", "cal"),
+) -> Report:
+    config = config or ExperimentConfig.from_env()
+    no_cache = BSSROptions().but(caching=False)
+    rows = []
+    for dataset_name in datasets:
+        dataset = dataset_by_name(dataset_name, config.scale)
+        for size in config.sequence_sizes():
+            workload = workload_for(dataset, size, config)
+            with_cache = run_cell(
+                dataset, workload, "bssr", time_budget=config.time_budget
+            )
+            without_cache = run_cell(
+                dataset,
+                workload,
+                "bssr",
+                time_budget=config.time_budget,
+                options=no_cache,
+            )
+            rows.append(
+                [
+                    dataset.name,
+                    size,
+                    with_cache.mean.mdijkstra_runs
+                    if with_cache.queries_run
+                    else None,
+                    without_cache.mean.mdijkstra_runs
+                    if without_cache.queries_run
+                    else None,
+                    with_cache.mean.cache_hits
+                    if with_cache.queries_run
+                    else None,
+                ]
+            )
+    table = format_table(
+        ["dataset", "|Sq|", "with cache", "w/o cache", "cache hits"],
+        rows,
+        title="mean modified-Dijkstra executions per query",
+    )
+    return Report(
+        experiment="figure5",
+        title="Figure 5 — effect of on-the-fly caching",
+        table=table,
+        data={"rows": rows},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,50 @@
+"""Figure 6 — number of skyline sequenced routes per query.
+
+The skyline stays small (the paper measures at most ~8 routes, with
+Cal returning the most), which is what makes SkySR results directly
+consumable without a ranking function.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    Report,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+from repro.experiments.tables import format_series
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    *,
+    datasets: tuple[str, ...] = ("tokyo", "nyc", "cal"),
+) -> Report:
+    config = config or ExperimentConfig.from_env()
+    sizes = config.sequence_sizes()
+    series: dict[str, list[float | None]] = {}
+    for dataset_name in datasets:
+        dataset = dataset_by_name(dataset_name, config.scale)
+        values: list[float | None] = []
+        for size in sizes:
+            workload = workload_for(dataset, size, config)
+            cell = run_cell(
+                dataset, workload, "bssr", time_budget=config.time_budget
+            )
+            values.append(cell.mean.result_size if cell.queries_run else None)
+        series[dataset.name] = values
+    table = format_series(
+        "|Sq|", sizes, series, title="mean # of SkySRs per query"
+    )
+    return Report(
+        experiment="figure6",
+        title="Figure 6 — number of skyline sequenced routes",
+        table=table,
+        data={"sizes": sizes, "series": series},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,205 @@
+"""Experiment harness: workloads × algorithms with budgets and memory.
+
+Every table/figure module builds on three pieces:
+
+* :class:`ExperimentConfig` — one knob set for the whole evaluation
+  (dataset scale, queries per cell, per-cell time budget, seed), with
+  environment overrides (``REPRO_SCALE``, ``REPRO_QUERIES``,
+  ``REPRO_BUDGET``, ``REPRO_SEED``, ``REPRO_MAX_SEQ``) so CI can run
+  tiny and a workstation can run large;
+* :func:`run_cell` — execute one workload under one algorithm,
+  aggregating per-query :class:`~repro.core.stats.SearchStats`, honoring
+  a wall-clock budget the way the paper handles its month-long baseline
+  runs (the cell is marked ``timed_out`` and reported as missing);
+* :class:`Report` — a titled, printable result table.
+
+The paper's absolute numbers came from C++ on millions of vertices;
+ours come from CPython on scaled-down synthetic stand-ins.  Reports are
+therefore *shape* reproductions: orderings, scalings and crossovers.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.core.stats import SearchStats, mean_stats
+from repro.datasets.paper_example import Dataset
+from repro.datasets.presets import cal_like, nyc_like, tokyo_like
+from repro.datasets.workloads import QuerySpec, generate_workload
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+@dataclass
+class ExperimentConfig:
+    """Global experiment knobs (environment-overridable)."""
+
+    scale: float = 0.35
+    queries_per_cell: int = 3
+    time_budget: float = 20.0
+    seed: int = 17
+    max_sequence_size: int = 5
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        return cls(
+            scale=_env_float("REPRO_SCALE", cls.scale),
+            queries_per_cell=_env_int("REPRO_QUERIES", cls.queries_per_cell),
+            time_budget=_env_float("REPRO_BUDGET", cls.time_budget),
+            seed=_env_int("REPRO_SEED", cls.seed),
+            max_sequence_size=_env_int("REPRO_MAX_SEQ", cls.max_sequence_size),
+        )
+
+    def sequence_sizes(self) -> list[int]:
+        """The paper's |S_q| sweep 2..5, truncated by the config."""
+        return [s for s in (2, 3, 4, 5) if s <= self.max_sequence_size]
+
+
+@dataclass
+class Report:
+    """A printable experiment outcome."""
+
+    experiment: str
+    title: str
+    table: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        bar = "=" * max(len(self.title), 8)
+        return f"{bar}\n{self.title}\n{bar}\n{self.table}\n"
+
+
+@dataclass
+class CellResult:
+    """Aggregated outcome of one (dataset, algorithm, |S_q|) cell."""
+
+    dataset: str
+    algorithm: str
+    sequence_size: int
+    queries_run: int
+    mean: SearchStats
+    timed_out: bool = False
+    per_query: list[SearchStats] = field(default_factory=list)
+    score_sets: list[set] = field(default_factory=list)
+
+    @property
+    def mean_time(self) -> float | None:
+        """Mean per-query seconds (None when the cell never finished —
+        the paper's missing Figure-3 bars)."""
+        if self.timed_out or self.queries_run == 0:
+            return None
+        return self.mean.elapsed
+
+
+_DATASET_FACTORIES = {
+    "tokyo": tokyo_like,
+    "nyc": nyc_like,
+    "cal": cal_like,
+}
+
+_dataset_cache: dict[tuple[str, float], Dataset] = {}
+
+
+def dataset_by_name(name: str, scale: float) -> Dataset:
+    """Memoized preset instantiation (datasets are immutable here)."""
+    key = (name, scale)
+    found = _dataset_cache.get(key)
+    if found is None:
+        found = _DATASET_FACTORIES[name](scale)
+        _dataset_cache[key] = found
+    return found
+
+
+def clear_dataset_cache() -> None:
+    _dataset_cache.clear()
+
+
+_engine_cache: dict[int, SkySREngine] = {}
+
+
+def engine_for(dataset: Dataset) -> SkySREngine:
+    key = id(dataset)
+    engine = _engine_cache.get(key)
+    if engine is None:
+        engine = SkySREngine(dataset.network, dataset.forest)
+        _engine_cache[key] = engine
+    return engine
+
+
+def workload_for(
+    dataset: Dataset, sequence_size: int, config: ExperimentConfig
+) -> list[QuerySpec]:
+    return generate_workload(
+        dataset,
+        sequence_size,
+        config.queries_per_cell,
+        seed=config.seed + sequence_size,
+    )
+
+
+def run_cell(
+    dataset: Dataset,
+    workload: list[QuerySpec],
+    algorithm: str,
+    *,
+    time_budget: float | None = None,
+    options: BSSROptions | None = None,
+    measure_memory: bool = False,
+    keep_scores: bool = False,
+) -> CellResult:
+    """Run one workload under one algorithm with a wall-clock budget."""
+    engine = engine_for(dataset)
+    per_query: list[SearchStats] = []
+    score_sets: list[set] = []
+    timed_out = False
+    started = perf_counter()
+    for qspec in workload:
+        remaining = None
+        if time_budget is not None:
+            remaining = time_budget - (perf_counter() - started)
+            if remaining <= 0:
+                timed_out = True
+                break
+        if measure_memory:
+            tracemalloc.start()
+        result = engine.query(
+            qspec.start,
+            list(qspec.categories),
+            algorithm=algorithm,
+            options=options,
+            deadline=remaining,
+        )
+        if measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            result.stats.peak_memory_bytes = peak
+        if result.stats.extra.get("timed_out"):
+            timed_out = True
+            break
+        per_query.append(result.stats)
+        if keep_scores:
+            score_sets.append({r.scores() for r in result.routes})
+    sequence_size = workload[0].size if workload else 0
+    return CellResult(
+        dataset=dataset.name,
+        algorithm=algorithm,
+        sequence_size=sequence_size,
+        queries_run=len(per_query),
+        mean=mean_stats(per_query),
+        timed_out=timed_out,
+        per_query=per_query,
+        score_sets=score_sets,
+    )

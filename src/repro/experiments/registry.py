@@ -1,0 +1,54 @@
+"""Experiment registry: id → runner, for the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.harness import ExperimentConfig, Report
+
+_REGISTRY: dict[str, Callable[..., Report]] = {
+    "table1": table1.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "table9": table9.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+}
+
+
+def experiment_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> Report:
+    try:
+        runner = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(experiment_names())
+        raise KeyError(f"unknown experiment {name!r} (known: {known})") from None
+    return runner(config)
+
+
+def run_all(config: ExperimentConfig | None = None) -> list[Report]:
+    config = config or ExperimentConfig.from_env()
+    return [run_experiment(name, config) for name in experiment_names()]

@@ -1,0 +1,57 @@
+"""Shared helpers for the paper's narrative examples (Tables 1 and 9)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import SkySREngine
+from repro.datasets.paper_example import Dataset
+from repro.datasets.poi_placement import place_pois_uniform
+
+
+def ensure_category_pois(
+    dataset: Dataset,
+    category_names: list[str],
+    *,
+    per_category: int = 3,
+    seed: int = 99,
+) -> None:
+    """Guarantee a few exact-category PoIs exist for a scenario.
+
+    The synthetic presets draw categories with Zipf skew, so a specific
+    leaf (say "Cupcake Shop") may be unpopulated at small scales; the
+    narrative scenarios need at least a handful so a perfect-match
+    route exists, as in the paper's examples.
+    """
+    counts = dataset.index.category_counts()
+    missing: list[int] = []
+    for name in category_names:
+        cid = dataset.forest.resolve(name)
+        shortfall = per_category - counts.get(cid, 0)
+        missing.extend([cid] * max(0, shortfall))
+    if not missing:
+        return
+    rng = random.Random(seed)
+    for cid in missing:
+        place_pois_uniform(
+            dataset.network,
+            dataset.forest,
+            1,
+            categories=[cid],
+            seed=rng.randrange(1 << 30),
+        )
+    dataset._index = None  # rebuild the PoI index snapshot
+
+
+def scenario_start(dataset: Dataset, seed: int = 5) -> int:
+    """A deterministic road-vertex start point for a scenario."""
+    rng = random.Random(seed)
+    road = [
+        v for v in dataset.network.vertices() if not dataset.network.is_poi(v)
+    ]
+    return road[rng.randrange(len(road))]
+
+
+def scenario_engine(dataset: Dataset) -> SkySREngine:
+    """A fresh engine bound to the (possibly mutated) scenario dataset."""
+    return SkySREngine(dataset.network, dataset.forest)

@@ -1,0 +1,52 @@
+"""Table 5 — dataset summary (ours vs the paper's originals)."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentConfig, Report, dataset_by_name
+from repro.experiments.tables import format_table
+
+
+def run(config: ExperimentConfig | None = None) -> Report:
+    config = config or ExperimentConfig.from_env()
+    rows = []
+    for name in ("tokyo", "nyc", "cal"):
+        dataset = dataset_by_name(name, config.scale)
+        card = dataset.summary()
+        paper = dataset.meta.get("paper", {})
+        rows.append(
+            [
+                dataset.name,
+                card["|V|"],
+                card["|P|"],
+                card["|E|"],
+                card["categories"],
+                card["trees"],
+                paper.get("|V|"),
+                paper.get("|P|"),
+                paper.get("|E|"),
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "|V|",
+            "|P|",
+            "|E|",
+            "categories",
+            "trees",
+            "paper |V|",
+            "paper |P|",
+            "paper |E|",
+        ],
+        rows,
+    )
+    return Report(
+        experiment="table5",
+        title=f"Table 5 — dataset summary (scale={config.scale})",
+        table=table,
+        data={"rows": rows},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

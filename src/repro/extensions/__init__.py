@@ -1,0 +1,26 @@
+"""Section 6 variations: predicates, destination, unordered, multi-category."""
+
+from repro.extensions.destination import (
+    destination_distances,
+    final_leg,
+    split_length,
+)
+from repro.extensions.multicategory import MultiCategoryRequirement, add_category
+from repro.extensions.predicates import AllOf, AnyOf, Excluding
+from repro.extensions.unordered import (
+    brute_force_unordered,
+    run_unordered_skysr,
+)
+
+__all__ = [
+    "AnyOf",
+    "AllOf",
+    "Excluding",
+    "destination_distances",
+    "final_leg",
+    "split_length",
+    "run_unordered_skysr",
+    "brute_force_unordered",
+    "MultiCategoryRequirement",
+    "add_category",
+]

@@ -1,0 +1,55 @@
+"""SkySR with a destination (Section 6).
+
+"The simple way to calculate a SkySR with a destination is to add the
+distance from the last visited PoI vertex to the destination to the
+length score after finding the sequenced route."  The core engine
+implements exactly that, plus the efficiency aid the paper sketches
+(traversing from both ends): a reverse Dijkstra from the destination is
+computed once, and the minimum destination leg over last-position
+candidates joins the length lower bound, so partial routes are pruned
+against *total* lengths.
+
+This module adds the user-facing conveniences: round trips (destination
+= start) and destination-leg inspection for result presentation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.routes import SkylineRoute
+from repro.graph.dijkstra import dijkstra
+from repro.graph.road_network import RoadNetwork
+
+
+def destination_distances(
+    network: RoadNetwork, destination: int
+) -> dict[int, float]:
+    """Distances from every vertex *to* the destination.
+
+    On directed networks this is a reverse-edge Dijkstra; on undirected
+    networks it equals the forward search.
+    """
+    result = dijkstra(network, destination, reverse=True)
+    assert isinstance(result, dict)
+    return result
+
+
+def final_leg(
+    network: RoadNetwork, route: SkylineRoute, destination: int
+) -> float:
+    """Length of the route's final leg to ``destination`` (inf if cut off)."""
+    if not route.pois:
+        return math.inf
+    return destination_distances(network, destination).get(
+        route.pois[-1], math.inf
+    )
+
+
+def split_length(
+    network: RoadNetwork, route: SkylineRoute, destination: int
+) -> tuple[float, float]:
+    """Decompose a destination-query route length into
+    (PoI-chain length, destination leg)."""
+    leg = final_leg(network, route, destination)
+    return route.length - leg, leg

@@ -1,0 +1,84 @@
+"""PoIs with multiple categories (Section 6).
+
+The road network natively stores a category *tuple* per PoI, and the
+standard :class:`~repro.core.spec.CategoryRequirement` already takes
+the *highest* similarity over a PoI's categories, as the paper's
+primary rule prescribes.  This module supplies the alternative rule the
+paper mentions ("either the highest or the average value") and small
+helpers for attaching extra categories to existing PoIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import PositionSpec
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.category import CategoryForest
+from repro.semantics.similarity import SimilarityMeasure
+
+
+def add_category(network: RoadNetwork, vid: int, category: int) -> None:
+    """Attach an additional category to an existing PoI.
+
+    Rebuild any :class:`~repro.graph.poi.PoIIndex` afterwards — indexes
+    are immutable snapshots.
+    """
+    current = network.poi_categories(vid)
+    network.set_poi(vid, current + (category,))
+
+
+@dataclass(frozen=True)
+class MultiCategoryRequirement:
+    """A category requirement with a selectable multi-category rule.
+
+    ``mode="max"`` reproduces the default behaviour; ``mode="mean"``
+    averages the similarities of the PoI's categories *within the query
+    tree* (categories from unrelated trees neither help nor hurt).
+    Mean-mode perfect matches require every same-tree category to be
+    perfect.
+    """
+
+    category: int
+    mode: str = "max"
+
+    def compile(
+        self, index: PoIIndex, similarity: SimilarityMeasure, position: int
+    ) -> PositionSpec:
+        if self.mode not in ("max", "mean"):
+            raise ValueError(f"unknown multi-category mode: {self.mode!r}")
+        forest = index.forest
+        network = index.network
+        cid = self.category
+        tree = forest.tree_id(cid)
+        sim_map: dict[int, float] = {}
+        perfect: set[int] = set()
+        best_np: float | None = None
+        for vid in index.pois_in_tree(cid):
+            sims = [
+                similarity.similarity(forest, cid, poi_cid)
+                for poi_cid in network.poi_categories(vid)
+                if forest.tree_id(poi_cid) == tree
+            ]
+            if not sims:
+                continue
+            value = max(sims) if self.mode == "max" else sum(sims) / len(sims)
+            if value <= 0.0:
+                continue
+            sim_map[vid] = value
+            if value >= 1.0:
+                perfect.add(vid)
+            elif best_np is None or value > best_np:
+                best_np = value
+        return PositionSpec(
+            index=position,
+            label=self.describe(forest),
+            sim_map=sim_map,
+            perfect=frozenset(perfect),
+            tree_ids=frozenset({tree}),
+            best_nonperfect=best_np,
+        )
+
+    def describe(self, forest: CategoryForest) -> str:
+        return f"{forest.name_of(self.category)}[{self.mode}]"

@@ -1,0 +1,177 @@
+"""Complex category requirements (Section 6): conjunction, disjunction,
+negation.
+
+The paper notes that detailed requirements — "'American restaurant' OR
+'Mexican restaurant' but NOT 'Taco Place'" — compile away into ordinary
+per-position candidate sets, leaving the algorithm untouched.  That is
+literally how this module works: each predicate implements the
+:class:`~repro.core.spec.Requirement` protocol and compiles to a plain
+:class:`~repro.core.spec.PositionSpec`, so BSSR, the oracle, and every
+extension accept predicates anywhere a category is accepted.
+
+Semantics:
+
+* :class:`AnyOf` — candidates of any branch; similarity is the best
+  branch similarity (a PoI satisfying one alternative perfectly is a
+  perfect match).
+* :class:`AllOf` — candidates matching *every* branch (sensible for
+  multi-category PoIs, e.g. "Cafe" AND "Bakery"); similarity is the
+  worst branch similarity.
+* :class:`Excluding` — a base requirement minus PoIs associated with
+  any excluded category (closure semantics: excluding "Bar" also
+  excludes "Beer Garden").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import PositionSpec, Requirement, as_requirement
+from repro.errors import QueryError
+from repro.graph.poi import PoIIndex
+from repro.semantics.category import CategoryForest
+from repro.semantics.similarity import SimilarityMeasure
+
+
+def _recompute_best_np(sim_map: dict[int, float]) -> float | None:
+    best: float | None = None
+    for sim in sim_map.values():
+        if sim < 1.0 and (best is None or sim > best):
+            best = sim
+    return best
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    """Disjunction of requirements (categories or nested predicates)."""
+
+    alternatives: tuple
+
+    def __init__(self, *alternatives) -> None:
+        if not alternatives:
+            raise QueryError("AnyOf needs at least one alternative")
+        object.__setattr__(self, "alternatives", tuple(alternatives))
+
+    def compile(
+        self, index: PoIIndex, similarity: SimilarityMeasure, position: int
+    ) -> PositionSpec:
+        forest = index.forest
+        sim_map: dict[int, float] = {}
+        trees: set[int] = set()
+        for item in self.alternatives:
+            spec = as_requirement(item, forest).compile(index, similarity, position)
+            trees |= spec.tree_ids
+            for vid, sim in spec.sim_map.items():
+                if sim > sim_map.get(vid, 0.0):
+                    sim_map[vid] = sim
+        perfect = frozenset(v for v, s in sim_map.items() if s >= 1.0)
+        return PositionSpec(
+            index=position,
+            label=self.describe(forest),
+            sim_map=sim_map,
+            perfect=perfect,
+            tree_ids=frozenset(trees),
+            best_nonperfect=_recompute_best_np(sim_map),
+        )
+
+    def describe(self, forest: CategoryForest) -> str:
+        parts = [
+            as_requirement(item, forest).describe(forest)
+            for item in self.alternatives
+        ]
+        return "(" + " OR ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Conjunction of requirements — meaningful for multi-category PoIs."""
+
+    requirements: tuple
+
+    def __init__(self, *requirements) -> None:
+        if not requirements:
+            raise QueryError("AllOf needs at least one requirement")
+        object.__setattr__(self, "requirements", tuple(requirements))
+
+    def compile(
+        self, index: PoIIndex, similarity: SimilarityMeasure, position: int
+    ) -> PositionSpec:
+        forest = index.forest
+        specs = [
+            as_requirement(item, forest).compile(index, similarity, position)
+            for item in self.requirements
+        ]
+        sim_map: dict[int, float] = {}
+        shared = set(specs[0].sim_map)
+        for spec in specs[1:]:
+            shared &= set(spec.sim_map)
+        for vid in shared:
+            sim_map[vid] = min(spec.sim_map[vid] for spec in specs)
+        perfect = frozenset(v for v, s in sim_map.items() if s >= 1.0)
+        trees: set[int] = set()
+        for spec in specs:
+            trees |= spec.tree_ids
+        return PositionSpec(
+            index=position,
+            label=self.describe(forest),
+            sim_map=sim_map,
+            perfect=perfect,
+            tree_ids=frozenset(trees),
+            best_nonperfect=_recompute_best_np(sim_map),
+        )
+
+    def describe(self, forest: CategoryForest) -> str:
+        parts = [
+            as_requirement(item, forest).describe(forest)
+            for item in self.requirements
+        ]
+        return "(" + " AND ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class Excluding:
+    """A base requirement with negated categories (closure semantics)."""
+
+    base: object
+    excluded: tuple
+
+    def __init__(self, base, *excluded) -> None:
+        if not excluded:
+            raise QueryError("Excluding needs at least one excluded category")
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "excluded", tuple(excluded))
+
+    def compile(
+        self, index: PoIIndex, similarity: SimilarityMeasure, position: int
+    ) -> PositionSpec:
+        forest = index.forest
+        spec = as_requirement(self.base, forest).compile(
+            index, similarity, position
+        )
+        banned_ids = [forest.resolve(c) for c in self.excluded]
+        sim_map = {
+            vid: sim
+            for vid, sim in spec.sim_map.items()
+            if not any(index.matches_closure(b, vid) for b in banned_ids)
+        }
+        perfect = frozenset(v for v in spec.perfect if v in sim_map)
+        return PositionSpec(
+            index=position,
+            label=self.describe(forest),
+            sim_map=sim_map,
+            perfect=perfect,
+            tree_ids=spec.tree_ids,
+            best_nonperfect=_recompute_best_np(sim_map),
+        )
+
+    def describe(self, forest: CategoryForest) -> str:
+        base = as_requirement(self.base, forest).describe(forest)
+        banned = ", ".join(
+            forest.name_of(forest.resolve(c)) for c in self.excluded
+        )
+        return f"({base} NOT {banned})"
+
+
+_ = Requirement  # the protocol these predicates implement (typing aid)
+
+__all__ = ["AnyOf", "AllOf", "Excluding"]

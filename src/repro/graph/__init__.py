@@ -1,0 +1,37 @@
+"""Road-network substrate: graph, Dijkstra variants, PoI index, spatial."""
+
+from repro.graph.dijkstra import (
+    ResumableDijkstra,
+    bounded_dijkstra,
+    dijkstra,
+    eccentricity,
+    multi_source_min_distance,
+    shortest_path,
+)
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.graph.spatial import (
+    bounding_box,
+    embed_poi_on_edge,
+    equirectangular,
+    euclidean,
+    nearest_edge,
+    nearest_vertex,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "PoIIndex",
+    "dijkstra",
+    "bounded_dijkstra",
+    "shortest_path",
+    "multi_source_min_distance",
+    "eccentricity",
+    "ResumableDijkstra",
+    "euclidean",
+    "equirectangular",
+    "nearest_vertex",
+    "nearest_edge",
+    "embed_poi_on_edge",
+    "bounding_box",
+]

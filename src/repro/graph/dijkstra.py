@@ -1,0 +1,250 @@
+"""Dijkstra variants used across the library.
+
+Four flavors, all lazy-deletion binary-heap implementations over
+:class:`~repro.graph.road_network.RoadNetwork`:
+
+* :func:`dijkstra` — full single-source distances (optionally with
+  predecessors for path reconstruction);
+* :func:`bounded_dijkstra` — single-source distances restricted to a
+  radius (used to restrict candidate sets to the ``l̄(ϕ)`` ball in
+  Algorithm 4 line 3);
+* :func:`multi_source_min_distance` — the paper's multi-source
+  multi-destination Dijkstra (Section 5.3.3, Lemma 5.9): minimum
+  distance from *any* source to *any* destination, stopping at the
+  first settled destination;
+* :class:`ResumableDijkstra` — an incremental expansion that yields
+  settled vertices in distance order and can be resumed with a larger
+  radius later; this powers both the PNE baseline's progressive
+  nearest-neighbor streams and BSSR's on-the-fly cache.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable, Collection
+
+from repro.graph.road_network import RoadNetwork
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    *,
+    reverse: bool = False,
+    with_predecessors: bool = False,
+) -> dict[int, float] | tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest-path distances.
+
+    Args:
+        network: the graph.
+        source: start vertex.
+        reverse: traverse incoming edges instead (distances *to*
+            ``source``; used by the destination extension).
+        with_predecessors: also return the shortest-path tree.
+    """
+    neighbors = network.in_neighbors if reverse else network.neighbors
+    dist: dict[int, float] = {source: 0.0}
+    pred: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    if with_predecessors:
+        return dist, pred
+    return dist
+
+
+def bounded_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    radius: float,
+    *,
+    reverse: bool = False,
+) -> dict[int, float]:
+    """Distances from ``source`` strictly below ``radius``.
+
+    Every returned distance is final (settled); vertices at distance
+    ``>= radius`` are omitted.
+    """
+    if radius == math.inf:
+        result = dijkstra(network, source, reverse=reverse)
+        assert isinstance(result, dict)
+        return result
+    neighbors = network.in_neighbors if reverse else network.neighbors
+    dist: dict[int, float] = {source: 0.0}
+    out: dict[int, float] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d >= radius:
+            break
+        settled.add(u)
+        out[u] = d
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < radius and nd < dist.get(v, math.inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return out
+
+
+def shortest_path(
+    network: RoadNetwork, source: int, target: int
+) -> tuple[float, list[int]]:
+    """Distance and vertex path from ``source`` to ``target``.
+
+    Returns ``(inf, [])`` when unreachable.
+    """
+    dist, pred = dijkstra(network, source, with_predecessors=True)
+    if target not in dist:
+        return math.inf, []
+    path = [target]
+    while path[-1] != source:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return dist[target], path
+
+
+def multi_source_min_distance(
+    network: RoadNetwork,
+    sources: Collection[int],
+    targets: Collection[int],
+    *,
+    radius: float = math.inf,
+) -> float:
+    """Minimum network distance between two vertex sets (Lemma 5.9).
+
+    All sources start at distance 0 in one priority queue; the first
+    settled target yields the exact minimum.  When the search is
+    truncated by ``radius`` before reaching a target, ``radius`` itself
+    is returned — a valid *lower bound*, which is all the caller
+    (Algorithm 4) needs.  Returns ``inf`` when the sets cannot be
+    connected at all (and ``0.0`` when the sets overlap).
+    """
+    if not sources or not targets:
+        return math.inf
+    target_set = targets if isinstance(targets, (set, frozenset)) else set(targets)
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heapq.heappush(heap, (0.0, s))
+    settled: set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d >= radius:
+            return radius
+        settled.add(u)
+        if u in target_set:
+            return d
+        for v, w in network.neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return math.inf
+
+
+def eccentricity(network: RoadNetwork, source: int) -> float:
+    """Largest finite shortest-path distance from ``source``."""
+    dist = dijkstra(network, source)
+    assert isinstance(dist, dict)
+    return max(dist.values(), default=0.0)
+
+
+class ResumableDijkstra:
+    """Incremental Dijkstra that can be paused and resumed.
+
+    Settles vertices in nondecreasing distance order.  :meth:`settle_next`
+    settles one vertex and reports it; :meth:`expand_until` keeps
+    settling while the next settle distance is below a (possibly
+    re-evaluated) budget.  Once the heap drains the search is
+    *exhausted* and resuming is a no-op.
+
+    The on-the-fly cache of Section 5.3.4 stores one instance per
+    (source PoI, query position); the PNE baseline uses one per
+    (vertex, category-candidate set) as its progressive nearest-neighbor
+    stream.
+    """
+
+    __slots__ = ("_network", "source", "_dist", "_settled", "_heap", "radius")
+
+    def __init__(self, network: RoadNetwork, source: int) -> None:
+        self._network = network
+        self.source = source
+        self._dist: dict[int, float] = {source: 0.0}
+        self._settled: set[int] = set()
+        self._heap: list[tuple[float, int]] = [(0.0, source)]
+        #: largest settled distance so far
+        self.radius = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        self._skim()
+        return not self._heap
+
+    def _skim(self) -> None:
+        """Drop stale heap entries so the head is live."""
+        heap = self._heap
+        while heap and heap[0][1] in self._settled:
+            heapq.heappop(heap)
+
+    def next_distance(self) -> float:
+        """Distance at which the next vertex would settle (inf if done)."""
+        self._skim()
+        return self._heap[0][0] if self._heap else math.inf
+
+    def settle_next(self) -> tuple[float, int] | None:
+        """Settle and return the next ``(distance, vertex)``; None if done."""
+        self._skim()
+        if not self._heap:
+            return None
+        d, u = heapq.heappop(self._heap)
+        self._settled.add(u)
+        self.radius = d
+        for v, w in self._network.neighbors(u):
+            nd = d + w
+            if nd < self._dist.get(v, math.inf):
+                self._dist[v] = nd
+                heapq.heappush(self._heap, (nd, v))
+        return d, u
+
+    def expand_until(
+        self, budget: Callable[[], float] | float
+    ) -> list[tuple[float, int]]:
+        """Settle vertices while the next settle distance < budget.
+
+        ``budget`` may be a callable re-evaluated after every settle —
+        BSSR's thresholds tighten while a search runs.
+        """
+        budget_fn = budget if callable(budget) else (lambda: budget)  # type: ignore[truthy-function]
+        out: list[tuple[float, int]] = []
+        while True:
+            nxt = self.next_distance()
+            if nxt == math.inf or nxt >= budget_fn():
+                break
+            settled = self.settle_next()
+            assert settled is not None
+            out.append(settled)
+        return out
+
+    def distance(self, vid: int) -> float:
+        """Settled distance to ``vid`` (inf when not settled yet)."""
+        if vid in self._settled:
+            return self._dist[vid]
+        return math.inf

@@ -1,0 +1,155 @@
+"""Persistence and interop for road networks and category forests.
+
+Formats:
+
+* JSON — complete round-trip of a dataset (network + forest), used by
+  the CLI to save/load generated datasets;
+* TSV edge list — lowest-common-denominator exchange (mirrors the
+  format of the public California road-network files the paper uses);
+* networkx bridge — optional, for validation in tests and for users who
+  want to run graph analytics on the same data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DataError
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.category import CategoryForest
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """JSON-serializable representation of a road network."""
+    vertices = []
+    for vid in network.vertices():
+        entry: dict = {"id": vid}
+        coords = network.coords(vid)
+        if coords is not None:
+            entry["x"], entry["y"] = coords
+        cats = network.poi_categories(vid)
+        if cats:
+            entry["categories"] = list(cats)
+        vertices.append(entry)
+    return {
+        "directed": network.directed,
+        "vertices": vertices,
+        "edges": [[u, v, w] for u, v, w in network.edges()],
+    }
+
+
+def network_from_dict(payload: dict) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict`."""
+    network = RoadNetwork(directed=bool(payload.get("directed", False)))
+    vertices = sorted(payload["vertices"], key=lambda e: e["id"])
+    for expected, entry in enumerate(vertices):
+        if entry["id"] != expected:
+            raise DataError("vertex ids must be dense and ordered")
+        vid = network.add_vertex(entry.get("x"), entry.get("y"))
+        cats = entry.get("categories")
+        if cats:
+            network.set_poi(vid, cats)
+    for u, v, w in payload["edges"]:
+        network.add_edge(int(u), int(v), float(w))
+    return network
+
+
+def save_dataset(
+    path: str | Path, network: RoadNetwork, forest: CategoryForest
+) -> None:
+    """Write a complete dataset (network + forest) as one JSON file."""
+    payload = {
+        "format": "repro-skysr-dataset",
+        "version": 1,
+        "network": network_to_dict(network),
+        "forest": forest.to_dict(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_dataset(path: str | Path) -> tuple[RoadNetwork, CategoryForest]:
+    """Read a dataset written by :func:`save_dataset`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(f"cannot read dataset {path}: {exc}") from exc
+    if payload.get("format") != "repro-skysr-dataset":
+        raise DataError(f"{path} is not a repro dataset file")
+    return (
+        network_from_dict(payload["network"]),
+        CategoryForest.from_dict(payload["forest"]),
+    )
+
+
+def write_edge_list(path: str | Path, network: RoadNetwork) -> None:
+    """TSV edge list: ``u<TAB>v<TAB>weight`` per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v, w in network.edges():
+            handle.write(f"{u}\t{v}\t{w}\n")
+
+
+def read_edge_list(
+    path: str | Path, *, directed: bool = False
+) -> RoadNetwork:
+    """Read a TSV edge list into a coordinate-less network."""
+    edges: list[tuple[int, int, float]] = []
+    max_vid = -1
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise DataError(f"{path}:{lineno}: expected 'u v w'")
+            u, v, w = int(parts[0]), int(parts[1]), float(parts[2])
+            edges.append((u, v, w))
+            max_vid = max(max_vid, u, v)
+    network = RoadNetwork(directed=directed)
+    for _ in range(max_vid + 1):
+        network.add_vertex()
+    for u, v, w in edges:
+        network.add_edge(u, v, w)
+    return network
+
+
+def to_networkx(network: RoadNetwork):
+    """Convert to a :mod:`networkx` graph (optional dependency)."""
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - env always has it
+        raise DataError("networkx is not installed") from exc
+    graph = nx.DiGraph() if network.directed else nx.Graph()
+    for vid in network.vertices():
+        attrs: dict = {}
+        coords = network.coords(vid)
+        if coords is not None:
+            attrs["x"], attrs["y"] = coords
+        cats = network.poi_categories(vid)
+        if cats:
+            attrs["categories"] = cats
+        graph.add_node(vid, **attrs)
+    for u, v, w in network.edges():
+        # Parallel edges collapse to the lightest one: networkx simple
+        # graphs hold one edge per pair, and only the minimum weight is
+        # relevant for shortest paths.
+        if graph.has_edge(u, v):
+            w = min(w, graph[u][v]["weight"])
+        graph.add_edge(u, v, weight=w)
+    return graph
+
+
+def from_networkx(graph) -> RoadNetwork:
+    """Convert a (di)graph with ``weight`` edge attributes back."""
+    network = RoadNetwork(directed=graph.is_directed())
+    relabel: dict = {}
+    for node, attrs in sorted(graph.nodes(data=True), key=lambda kv: str(kv[0])):
+        vid = network.add_vertex(attrs.get("x"), attrs.get("y"))
+        relabel[node] = vid
+        cats = attrs.get("categories")
+        if cats:
+            network.set_poi(vid, tuple(cats))
+    for u, v, attrs in graph.edges(data=True):
+        network.add_edge(relabel[u], relabel[v], float(attrs.get("weight", 1.0)))
+    return network

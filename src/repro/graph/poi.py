@@ -1,0 +1,131 @@
+"""PoI index: category → PoI vertices, with semantic closure sets.
+
+Section 3 of the paper defines two PoI sets per category ``c``:
+
+* ``P_c``  — PoIs *associated with* ``c``.  Because a PoI is associated
+  with every ancestor of its category, ``P_c`` is the set of PoIs whose
+  category lies in the *subtree* of ``c`` (the closure set);
+* ``P_t``  — PoIs associated with the category *tree* ``t`` (any
+  category in the tree → semantic match candidates).
+
+:class:`PoIIndex` materializes exact-category and per-tree buckets once
+and serves both sets; closure sets are resolved through the forest's
+O(1) subtree-membership test.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.category import CategoryForest
+
+
+class PoIIndex:
+    """Immutable snapshot index of the network's PoI vertices.
+
+    Build once per (network, forest) pair; rebuild after mutating PoIs.
+    """
+
+    def __init__(self, network: RoadNetwork, forest: CategoryForest) -> None:
+        self._network = network
+        self._forest = forest
+        by_category: dict[int, list[int]] = defaultdict(list)
+        by_tree: dict[int, list[int]] = defaultdict(list)
+        for vid, cats in network.poi_items():
+            seen_trees: set[int] = set()
+            for cid in cats:
+                by_category[cid].append(vid)
+                tid = forest.tree_id(cid)
+                if tid not in seen_trees:
+                    seen_trees.add(tid)
+                    by_tree[tid].append(vid)
+        self._by_category: dict[int, list[int]] = dict(by_category)
+        self._by_tree: dict[int, list[int]] = dict(by_tree)
+
+    @property
+    def forest(self) -> CategoryForest:
+        return self._forest
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    # ------------------------------------------------------------------
+    # buckets
+    # ------------------------------------------------------------------
+
+    def pois_with_exact_category(self, category: int | str) -> list[int]:
+        """PoIs whose *own* category equals ``category``."""
+        cid = self._forest.resolve(category)
+        return list(self._by_category.get(cid, ()))
+
+    def pois_in_tree(self, tree: int | str) -> list[int]:
+        """The paper's ``P_t``: all PoIs of one category tree
+        (the semantic-match candidates of Definition 3.4)."""
+        tid = self._forest.category(tree).tree_id
+        return list(self._by_tree.get(tid, ()))
+
+    def pois_in_closure(self, category: int | str) -> list[int]:
+        """The paper's ``P_c``: PoIs associated with ``category``, i.e.
+        PoIs whose category lies in ``category``'s subtree."""
+        cid = self._forest.resolve(category)
+        cat = self._forest.category(cid)
+        if cat.is_root:
+            return self.pois_in_tree(cid)
+        out = []
+        for vid in self._by_tree.get(cat.tree_id, ()):
+            if self.matches_closure(cid, vid):
+                out.append(vid)
+        return out
+
+    # ------------------------------------------------------------------
+    # membership tests
+    # ------------------------------------------------------------------
+
+    def matches_tree(self, category: int | str, vid: int) -> bool:
+        """Does PoI ``vid`` semantically match ``category`` (same tree)?"""
+        tid = self._forest.category(category).tree_id
+        return any(
+            self._forest.tree_id(c) == tid
+            for c in self._network.poi_categories(vid)
+        )
+
+    def matches_closure(self, category: int | str, vid: int) -> bool:
+        """Is PoI ``vid`` in ``P_category`` (category subtree closure)?"""
+        cid = self._forest.resolve(category)
+        return any(
+            self._forest.is_ancestor_or_self(cid, c)
+            for c in self._network.poi_categories(vid)
+        )
+
+    # ------------------------------------------------------------------
+    # statistics (used by workload generation, Section 7.1)
+    # ------------------------------------------------------------------
+
+    def category_counts(self) -> dict[int, int]:
+        """PoI count per exact category id."""
+        return {cid: len(vids) for cid, vids in self._by_category.items()}
+
+    def populated_leaves(self, min_count: int = 1) -> list[int]:
+        """Leaf categories with at least ``min_count`` exact PoIs.
+
+        The paper "select[s] only categories that have a large number of
+        PoI vertices" for its workloads.
+        """
+        counts = self.category_counts()
+        return [
+            cid
+            for cid in self._forest.leaves()
+            if counts.get(cid, 0) >= min_count
+        ]
+
+    def trees_present(self) -> list[int]:
+        """Tree ids that contain at least one PoI."""
+        return list(self._by_tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoIIndex(pois={self._network.num_pois}, "
+            f"categories={len(self._by_category)}, trees={len(self._by_tree)})"
+        )

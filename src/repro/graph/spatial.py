@@ -1,0 +1,141 @@
+"""Spatial helpers: distances, nearest elements, PoI edge-embedding.
+
+The paper embeds each Foursquare PoI "on the closest edge" of the OSM
+road network (Section 7.1, following Li et al. [10]).
+:func:`embed_poi_on_edge` reproduces that operation: the PoI becomes a
+new vertex splitting the edge, with the two sub-weights proportional to
+the projection of the PoI onto the edge segment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GraphError
+from repro.graph.road_network import RoadNetwork
+
+
+def euclidean(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Plain Euclidean distance between two coordinate pairs."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def equirectangular(
+    a: tuple[float, float], b: tuple[float, float]
+) -> float:
+    """Distance "based on longitude and latitude" as in the paper —
+    the equirectangular approximation in degree units (coordinates are
+    ``(lon, lat)``)."""
+    mean_lat = math.radians((a[1] + b[1]) / 2.0)
+    dx = (a[0] - b[0]) * math.cos(mean_lat)
+    dy = a[1] - b[1]
+    return math.hypot(dx, dy)
+
+
+def nearest_vertex(
+    network: RoadNetwork, point: tuple[float, float]
+) -> int:
+    """Vertex whose coordinates are closest to ``point`` (linear scan)."""
+    best, best_d = -1, math.inf
+    for vid in network.vertices():
+        coords = network.coords(vid)
+        if coords is None:
+            continue
+        d = euclidean(coords, point)
+        if d < best_d:
+            best, best_d = vid, d
+    if best < 0:
+        raise GraphError("network has no vertices with coordinates")
+    return best
+
+
+def _project_on_segment(
+    p: tuple[float, float],
+    a: tuple[float, float],
+    b: tuple[float, float],
+) -> float:
+    """Fraction t ∈ [0, 1] of p's projection along segment a→b."""
+    ax, ay = a
+    bx, by = b
+    dx, dy = bx - ax, by - ay
+    denom = dx * dx + dy * dy
+    if denom <= 0.0:
+        return 0.5
+    t = ((p[0] - ax) * dx + (p[1] - ay) * dy) / denom
+    return min(1.0, max(0.0, t))
+
+
+def nearest_edge(
+    network: RoadNetwork, point: tuple[float, float]
+) -> tuple[int, int, float]:
+    """Closest edge to ``point`` and the projection fraction along it.
+
+    Returns ``(u, v, t)`` where the projection sits at fraction ``t`` of
+    the way from ``u`` to ``v``.  Linear scan — generators call this a
+    bounded number of times per PoI.
+    """
+    best: tuple[int, int, float] | None = None
+    best_d = math.inf
+    for u, v, _w in network.edges():
+        cu, cv = network.coords(u), network.coords(v)
+        if cu is None or cv is None:
+            continue
+        t = _project_on_segment(point, cu, cv)
+        proj = (cu[0] + t * (cv[0] - cu[0]), cu[1] + t * (cv[1] - cu[1]))
+        d = euclidean(point, proj)
+        if d < best_d:
+            best, best_d = (u, v, t), d
+    if best is None:
+        raise GraphError("network has no edges with coordinates")
+    return best
+
+
+def embed_poi_on_edge(
+    network: RoadNetwork,
+    categories: int | tuple[int, ...],
+    point: tuple[float, float],
+    *,
+    edge: tuple[int, int] | None = None,
+) -> int:
+    """Embed a PoI at ``point`` by splitting its closest edge.
+
+    The edge ``(u, v)`` of weight ``w`` is replaced by ``(u, p)`` and
+    ``(p, v)`` with weights ``t·w`` and ``(1−t)·w``; the original edge is
+    kept (removal would require adjacency rebuilds and does not affect
+    shortest paths, since the split path has identical total weight).
+
+    Returns the new PoI vertex id.
+    """
+    if edge is None:
+        u, v, t = nearest_edge(network, point)
+    else:
+        u, v = edge
+        cu, cv = network.coords(u), network.coords(v)
+        if cu is None or cv is None:
+            t = 0.5
+        else:
+            t = _project_on_segment(point, cu, cv)
+    w = network.edge_weight(u, v)
+    pid = network.add_poi(categories, point[0], point[1])
+    network.add_edge(u, pid, t * w)
+    network.add_edge(pid, v, (1.0 - t) * w)
+    if network.directed:
+        # Keep the embedding reachable both ways on directed networks.
+        network.add_edge(v, pid, (1.0 - t) * w)
+        network.add_edge(pid, u, t * w)
+    return pid
+
+
+def bounding_box(
+    network: RoadNetwork,
+) -> tuple[float, float, float, float]:
+    """``(min_x, min_y, max_x, max_y)`` over all vertices with coords."""
+    xs, ys = [], []
+    for vid in network.vertices():
+        coords = network.coords(vid)
+        if coords is not None:
+            xs.append(coords[0])
+            ys.append(coords[1])
+    if not xs:
+        raise GraphError("network has no coordinates")
+    return min(xs), min(ys), max(xs), max(ys)

@@ -1,0 +1,39 @@
+"""Semantic hierarchy substrate: category forest, similarity, scoring."""
+
+from repro.semantics.category import Category, CategoryForest
+from repro.semantics.foursquare import build_foursquare_forest, root_names
+from repro.semantics.scoring import (
+    DEFAULT_AGGREGATOR,
+    MeanAggregator,
+    MinAggregator,
+    ProductAggregator,
+    SemanticAggregator,
+    aggregator_by_name,
+)
+from repro.semantics.similarity import (
+    DEFAULT_SIMILARITY,
+    ClassicWuPalmer,
+    HierarchyWuPalmer,
+    PathLengthSimilarity,
+    SimilarityMeasure,
+    similarity_by_name,
+)
+
+__all__ = [
+    "Category",
+    "CategoryForest",
+    "build_foursquare_forest",
+    "root_names",
+    "SimilarityMeasure",
+    "HierarchyWuPalmer",
+    "ClassicWuPalmer",
+    "PathLengthSimilarity",
+    "DEFAULT_SIMILARITY",
+    "similarity_by_name",
+    "SemanticAggregator",
+    "ProductAggregator",
+    "MinAggregator",
+    "MeanAggregator",
+    "DEFAULT_AGGREGATOR",
+    "aggregator_by_name",
+]

@@ -1,0 +1,344 @@
+"""Category forest: the semantic hierarchy of PoI categories.
+
+The paper (Section 3) models PoI categories as a *forest* of category
+trees (e.g. Foursquare's "Food" and "Shop & Service" trees, Figure 2).
+Each category belongs to exactly one tree; the depth of a root is 1.
+
+:class:`CategoryForest` stores the forest and answers the structural
+queries the SkySR machinery needs:
+
+* ancestor chains and lowest common ancestors (for similarity, Eq. 6);
+* subtree membership in O(1) via Euler-tour intervals (for the closure
+  sets ``P_c`` — "a PoI associated with category c is also associated
+  with all ancestors of c");
+* leaves per tree (the experiment workloads draw query categories from
+  leaf categories, Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import CategoryError
+
+
+@dataclass
+class Category:
+    """A single node of a category tree.
+
+    Attributes:
+        cid: Integer id, unique across the whole forest.
+        name: Human-readable name, unique across the whole forest.
+        parent: Parent category id, or ``None`` for tree roots.
+        tree_id: Id of the tree (root category id) this node belongs to.
+        depth: Distance from the root, with roots at depth 1 (the
+            convention required by the Wu–Palmer similarity of Eq. 6).
+        children: Ids of direct child categories.
+    """
+
+    cid: int
+    name: str
+    parent: int | None
+    tree_id: int
+    depth: int
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class CategoryForest:
+    """A forest of category trees with fast structural queries."""
+
+    def __init__(self) -> None:
+        self._categories: list[Category] = []
+        self._by_name: dict[str, int] = {}
+        self._roots: list[int] = []
+        # Euler-tour intervals for O(1) subtree membership; rebuilt lazily.
+        self._tin: list[int] = []
+        self._tout: list[int] = []
+        self._euler_dirty = True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_root(self, name: str) -> int:
+        """Create a new category tree and return the root's id."""
+        cid = self._new_category(name, parent=None)
+        self._roots.append(cid)
+        return cid
+
+    def add_child(self, parent: int | str, name: str) -> int:
+        """Add ``name`` as a child of ``parent`` (id or name)."""
+        pid = self.resolve(parent)
+        cid = self._new_category(name, parent=pid)
+        self._categories[pid].children.append(cid)
+        return cid
+
+    def add_path(self, *names: str) -> int:
+        """Ensure a root-to-leaf chain of categories exists.
+
+        ``add_path("Food", "Asian Restaurant")`` creates the root "Food"
+        (if missing) and "Asian Restaurant" beneath it (if missing),
+        returning the id of the last category in the chain.
+        """
+        if not names:
+            raise CategoryError("add_path requires at least one name")
+        first = names[0]
+        if first in self._by_name:
+            cid = self._by_name[first]
+            if self._categories[cid].parent is not None:
+                raise CategoryError(
+                    f"category {first!r} exists but is not a root"
+                )
+        else:
+            cid = self.add_root(first)
+        for name in names[1:]:
+            if name in self._by_name:
+                existing = self._categories[self._by_name[name]]
+                if existing.parent != cid:
+                    raise CategoryError(
+                        f"category {name!r} exists under a different parent"
+                    )
+                cid = existing.cid
+            else:
+                cid = self.add_child(cid, name)
+        return cid
+
+    def _new_category(self, name: str, parent: int | None) -> int:
+        if not name:
+            raise CategoryError("category name must be non-empty")
+        if name in self._by_name:
+            raise CategoryError(f"duplicate category name: {name!r}")
+        cid = len(self._categories)
+        if parent is None:
+            tree_id, depth = cid, 1
+        else:
+            parent_cat = self._categories[parent]
+            tree_id, depth = parent_cat.tree_id, parent_cat.depth + 1
+        self._categories.append(
+            Category(cid=cid, name=name, parent=parent, tree_id=tree_id, depth=depth)
+        )
+        self._by_name[name] = cid
+        self._euler_dirty = True
+        return cid
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def resolve(self, ref: int | str | Category) -> int:
+        """Normalize a category reference (id, name, or object) to an id."""
+        if isinstance(ref, Category):
+            return ref.cid
+        if isinstance(ref, str):
+            try:
+                return self._by_name[ref]
+            except KeyError:
+                raise CategoryError(f"unknown category name: {ref!r}") from None
+        cid = int(ref)
+        if not 0 <= cid < len(self._categories):
+            raise CategoryError(f"unknown category id: {cid}")
+        return cid
+
+    def category(self, ref: int | str | Category) -> Category:
+        return self._categories[self.resolve(ref)]
+
+    def name_of(self, cid: int) -> str:
+        return self._categories[self.resolve(cid)].name
+
+    def depth(self, ref: int | str) -> int:
+        return self.category(ref).depth
+
+    def tree_id(self, ref: int | str) -> int:
+        return self.category(ref).tree_id
+
+    def parent_of(self, ref: int | str) -> int | None:
+        return self.category(ref).parent
+
+    def children_of(self, ref: int | str) -> list[int]:
+        return list(self.category(ref).children)
+
+    @property
+    def roots(self) -> list[int]:
+        return list(self._roots)
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __contains__(self, ref: object) -> bool:
+        if isinstance(ref, str):
+            return ref in self._by_name
+        if isinstance(ref, int):
+            return 0 <= ref < len(self._categories)
+        return False
+
+    def __iter__(self) -> Iterator[Category]:
+        return iter(self._categories)
+
+    def names(self) -> list[str]:
+        return [c.name for c in self._categories]
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    def ancestors(self, ref: int | str, include_self: bool = True) -> list[int]:
+        """Ancestor chain from ``ref`` up to its root (self first).
+
+        This is the paper's ``a(c)`` set (self included by default).
+        """
+        cid = self.resolve(ref)
+        chain: list[int] = []
+        cur: int | None = cid if include_self else self._categories[cid].parent
+        while cur is not None:
+            chain.append(cur)
+            cur = self._categories[cur].parent
+        return chain
+
+    def _ensure_euler(self) -> None:
+        if not self._euler_dirty:
+            return
+        n = len(self._categories)
+        self._tin = [0] * n
+        self._tout = [0] * n
+        clock = 0
+        for root in self._roots:
+            # Iterative DFS: (cid, child-cursor) to avoid recursion limits.
+            stack: list[tuple[int, int]] = [(root, 0)]
+            self._tin[root] = clock
+            clock += 1
+            while stack:
+                cid, cursor = stack[-1]
+                children = self._categories[cid].children
+                if cursor < len(children):
+                    stack[-1] = (cid, cursor + 1)
+                    child = children[cursor]
+                    self._tin[child] = clock
+                    clock += 1
+                    stack.append((child, 0))
+                else:
+                    self._tout[cid] = clock
+                    clock += 1
+                    stack.pop()
+        self._euler_dirty = False
+
+    def is_ancestor_or_self(self, anc: int | str, desc: int | str) -> bool:
+        """True iff ``anc`` is an ancestor of ``desc`` (or equal).
+
+        O(1) after the first call (Euler intervals)."""
+        a, d = self.resolve(anc), self.resolve(desc)
+        if self._categories[a].tree_id != self._categories[d].tree_id:
+            return False
+        self._ensure_euler()
+        return self._tin[a] <= self._tin[d] and self._tout[d] <= self._tout[a]
+
+    def lca(self, a: int | str, b: int | str) -> int | None:
+        """Lowest common ancestor, or ``None`` when in different trees."""
+        ca, cb = self.category(a), self.category(b)
+        if ca.tree_id != cb.tree_id:
+            return None
+        x, y = ca, cb
+        while x.depth > y.depth:
+            x = self._categories[x.parent]  # type: ignore[arg-type]
+        while y.depth > x.depth:
+            y = self._categories[y.parent]  # type: ignore[arg-type]
+        while x.cid != y.cid:
+            x = self._categories[x.parent]  # type: ignore[arg-type]
+            y = self._categories[y.parent]  # type: ignore[arg-type]
+        return x.cid
+
+    def subtree(self, ref: int | str) -> list[int]:
+        """All category ids in the subtree rooted at ``ref`` (inclusive)."""
+        cid = self.resolve(ref)
+        out: list[int] = []
+        stack = [cid]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(self._categories[cur].children)
+        return out
+
+    def categories_in_tree(self, tree_id: int) -> list[int]:
+        return self.subtree(self.resolve(tree_id))
+
+    def leaves(self, tree: int | str | None = None) -> list[int]:
+        """All leaf category ids (optionally restricted to one tree)."""
+        if tree is None:
+            return [c.cid for c in self._categories if c.is_leaf]
+        tid = self.category(tree).tree_id
+        return [
+            c.cid for c in self._categories if c.is_leaf and c.tree_id == tid
+        ]
+
+    def path_length(self, a: int | str, b: int | str) -> int | None:
+        """Number of edges on the tree path between two categories."""
+        low = self.lca(a, b)
+        if low is None:
+            return None
+        da, db = self.depth(a), self.depth(b)
+        dl = self._categories[low].depth
+        return (da - dl) + (db - dl)
+
+    def max_depth(self, tree: int | str | None = None) -> int:
+        cats: Iterable[Category] = self._categories
+        if tree is not None:
+            tid = self.category(tree).tree_id
+            cats = (c for c in self._categories if c.tree_id == tid)
+        return max((c.depth for c in cats), default=0)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`CategoryError`."""
+        for cat in self._categories:
+            if cat.parent is not None:
+                parent = self._categories[cat.parent]
+                if cat.cid not in parent.children:
+                    raise CategoryError(
+                        f"category {cat.name!r} missing from parent's children"
+                    )
+                if cat.depth != parent.depth + 1:
+                    raise CategoryError(f"bad depth at {cat.name!r}")
+                if cat.tree_id != parent.tree_id:
+                    raise CategoryError(f"bad tree id at {cat.name!r}")
+            else:
+                if cat.depth != 1 or cat.tree_id != cat.cid:
+                    raise CategoryError(f"bad root bookkeeping at {cat.name!r}")
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "categories": [
+                {"cid": c.cid, "name": c.name, "parent": c.parent}
+                for c in self._categories
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CategoryForest":
+        forest = cls()
+        entries = sorted(payload["categories"], key=lambda e: e["cid"])
+        for expected, entry in enumerate(entries):
+            if entry["cid"] != expected:
+                raise CategoryError("category ids must be dense and ordered")
+            if entry["parent"] is None:
+                forest.add_root(entry["name"])
+            else:
+                forest.add_child(entry["parent"], entry["name"])
+        return forest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CategoryForest(trees={len(self._roots)}, "
+            f"categories={len(self._categories)})"
+        )

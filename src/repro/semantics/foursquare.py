@@ -1,0 +1,132 @@
+"""An embedded Foursquare-style category taxonomy.
+
+The paper's Tokyo and NYC datasets attach Foursquare's 10 category trees
+to each PoI (Section 7.1, footnote 1).  The real taxonomy is served by a
+proprietary API; this module embeds a faithful scaled subset with the
+same 10 roots and 3-level structure, *including every category the paper
+mentions by name* (Asian/Italian Restaurant, Bakery, Gift/Hobby shop,
+Clothing Store → Men's Store, Cupcake/Dessert Shop, Art Museum → Museum,
+Jazz Club → Music Venue, Beer Garden / Sake Bar → Bar, Sushi Restaurant →
+Japanese Restaurant — Figures 1–2, Tables 1 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.semantics.category import CategoryForest
+
+#: root → {child → [grandchildren]}
+_TAXONOMY: dict[str, dict[str, list[str]]] = {
+    "Food": {
+        "Asian Restaurant": ["Chinese Restaurant", "Thai Restaurant", "Korean Restaurant"],
+        "Japanese Restaurant": ["Sushi Restaurant", "Ramen Restaurant", "Udon Restaurant"],
+        "Italian Restaurant": ["Pizza Place", "Trattoria"],
+        "American Restaurant": ["Burger Joint", "Diner"],
+        "Mexican Restaurant": ["Taco Place", "Burrito Place"],
+        "Dessert Shop": ["Cupcake Shop", "Ice Cream Shop", "Pie Shop"],
+        "Bakery": ["Bagel Shop", "Donut Shop"],
+        "Cafe": ["Coffee Shop", "Tea Room"],
+        "Seafood Restaurant": [],
+        "Vegetarian Restaurant": [],
+    },
+    "Shop & Service": {
+        "Gift Shop": ["Souvenir Shop", "Card Shop"],
+        "Hobby Shop": ["Game Store", "Model Shop"],
+        "Clothing Store": ["Men's Store", "Women's Store", "Shoe Store"],
+        "Bookstore": ["Used Bookstore", "Comic Shop"],
+        "Electronics Store": ["Camera Store", "Mobile Phone Shop"],
+        "Grocery Store": ["Supermarket", "Organic Grocery"],
+        "Convenience Store": [],
+        "Pharmacy": [],
+        "Flower Shop": [],
+        "Salon / Barbershop": [],
+    },
+    "Arts & Entertainment": {
+        "Museum": ["Art Museum", "History Museum", "Science Museum"],
+        "Music Venue": ["Jazz Club", "Rock Club", "Concert Hall"],
+        "Theater": ["Indie Theater", "Opera House"],
+        "Movie Theater": ["Multiplex", "Indie Movie Theater"],
+        "Art Gallery": [],
+        "Aquarium": [],
+        "Zoo": [],
+        "Arcade": [],
+        "Comedy Club": [],
+        "Stadium": [],
+    },
+    "Nightlife Spot": {
+        "Bar": ["Beer Garden", "Sake Bar", "Wine Bar", "Cocktail Bar"],
+        "Pub": ["Gastropub", "Sports Bar"],
+        "Nightclub": [],
+        "Lounge": [],
+        "Karaoke Bar": [],
+    },
+    "Outdoors & Recreation": {
+        "Park": ["Playground", "Dog Run", "Botanical Garden"],
+        "Gym / Fitness": ["Yoga Studio", "Climbing Gym", "Pool"],
+        "Trail": [],
+        "Beach": [],
+        "Plaza": [],
+        "Scenic Lookout": [],
+        "Sports Field": [],
+    },
+    "Travel & Transport": {
+        "Train Station": ["Metro Station", "Platform"],
+        "Bus Station": ["Bus Stop"],
+        "Airport": ["Airport Terminal", "Airport Lounge"],
+        "Hotel": ["Hostel", "Bed & Breakfast", "Resort"],
+        "Taxi Stand": [],
+        "Ferry Terminal": [],
+        "Rental Car Location": [],
+    },
+    "College & University": {
+        "Academic Building": ["Lecture Hall", "Laboratory"],
+        "University Library": [],
+        "Student Center": [],
+        "College Cafeteria": [],
+        "Dormitory": [],
+    },
+    "Professional & Other Places": {
+        "Office": ["Coworking Space", "Corporate HQ"],
+        "Medical Center": ["Hospital", "Dentist's Office", "Clinic"],
+        "Government Building": ["City Hall", "Courthouse"],
+        "Convention Center": [],
+        "Factory": [],
+        "Post Office": [],
+        "Library": [],
+    },
+    "Residence": {
+        "Apartment Building": [],
+        "Housing Development": [],
+        "Home": [],
+    },
+    "Event": {
+        "Festival": ["Music Festival", "Street Fair"],
+        "Market": ["Farmers Market", "Flea Market"],
+        "Parade": [],
+        "Sporting Event": [],
+    },
+}
+
+
+def build_foursquare_forest() -> CategoryForest:
+    """Build the embedded Foursquare-style forest (10 trees, 3 levels)."""
+    forest = CategoryForest()
+    for root, children in _TAXONOMY.items():
+        forest.add_root(root)
+        for child, grandchildren in children.items():
+            forest.add_child(root, child)
+            for grandchild in grandchildren:
+                forest.add_child(child, grandchild)
+    return forest
+
+
+def taxonomy_size() -> int:
+    """Total number of categories in the embedded taxonomy."""
+    total = 0
+    for children in _TAXONOMY.values():
+        total += 1 + len(children) + sum(len(g) for g in children.values())
+    return total
+
+
+def root_names() -> list[str]:
+    """The 10 tree roots (Foursquare's top-level categories)."""
+    return list(_TAXONOMY)

@@ -1,0 +1,159 @@
+"""Semantic-score aggregation (Definition 3.5 / Eq. 7 of the paper).
+
+The semantic score of a route is ``s(R) = f(h_1, …, h_|R|)`` for an
+aggregation function ``f`` over the per-position similarities.  The paper
+uses the product form (Eq. 7): ``s(R) = 1 − Π h_i``.
+
+Aggregators are incremental so BSSR can maintain a route's semantic state
+as positions are appended.  Two properties are required for correctness
+of the branch-and-bound machinery and hold for every aggregator here:
+
+* **prefix lower bound** (Definition 3.5): the score of a prefix, with
+  the remaining positions assumed perfect (``h = 1``), never exceeds the
+  score of any completion — Lemma 5.2 relies on this;
+* **monotonicity**: appending a smaller similarity never decreases the
+  score.
+
+:meth:`SemanticAggregator.min_increment` supplies the minimum semantic
+increment ``δ`` of Lemma 5.8 given the best non-perfect similarity still
+available in the remaining positions.  A ``None`` bound means the score
+can no longer increase (``δ = ∞``); an aggregator may also return 0
+(e.g. :class:`MinAggregator` when the route already carries a worse
+similarity), in which case BSSR skips the perfect-match pruning rule —
+keeping the rule sound for arbitrary aggregators.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class SemanticAggregator(ABC):
+    """Incremental aggregation of per-position similarities into a score."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def initial(self, sequence_length: int):
+        """State of an empty route (score must be 0)."""
+
+    @abstractmethod
+    def extend(self, state, sim: float):
+        """State after appending one position with similarity ``sim``."""
+
+    @abstractmethod
+    def score(self, state) -> float:
+        """Semantic score of the route in ``state`` (prefix lower bound)."""
+
+    @abstractmethod
+    def min_increment(self, state, best_nonperfect: float | None) -> float:
+        """Minimum score increase if any remaining position is non-perfect.
+
+        ``best_nonperfect`` is the largest similarity strictly below 1
+        achievable over all remaining positions (``None`` if no remaining
+        position admits a non-perfect match).  Returns ``math.inf`` when
+        the score cannot increase and 0 when a non-perfect match may be
+        absorbed without a score change.
+        """
+
+    def score_of(self, sims: list[float] | tuple[float, ...]) -> float:
+        """Convenience: aggregate a full similarity vector."""
+        state = self.initial(len(sims))
+        for sim in sims:
+            state = self.extend(state, sim)
+        return self.score(state)
+
+
+class ProductAggregator(SemanticAggregator):
+    """The paper's Eq. (7): ``s(R) = 1 − Π h_i``.  Library default."""
+
+    name = "product"
+
+    def initial(self, sequence_length: int) -> float:
+        return 1.0
+
+    def extend(self, state: float, sim: float) -> float:
+        return state * sim
+
+    def score(self, state: float) -> float:
+        return 1.0 - state
+
+    def min_increment(self, state: float, best_nonperfect: float | None) -> float:
+        if best_nonperfect is None:
+            return math.inf
+        # Deviating once at similarity σ turns Π into Π·σ: Δs = Π·(1 − σ).
+        return state * (1.0 - best_nonperfect)
+
+
+class MinAggregator(SemanticAggregator):
+    """``s(R) = 1 − min h_i`` (worst position dominates)."""
+
+    name = "min"
+
+    def initial(self, sequence_length: int) -> float:
+        return 1.0
+
+    def extend(self, state: float, sim: float) -> float:
+        return min(state, sim)
+
+    def score(self, state: float) -> float:
+        return 1.0 - state
+
+    def min_increment(self, state: float, best_nonperfect: float | None) -> float:
+        if best_nonperfect is None:
+            return math.inf
+        # A non-perfect σ ≥ current min leaves the score unchanged → δ = 0,
+        # which disables Lemma 5.8 (correctly: the route could absorb the
+        # deviation for free).
+        return max(0.0, state - best_nonperfect)
+
+
+class MeanAggregator(SemanticAggregator):
+    """``s(R) = 1 − mean(h_i)`` over the full sequence length.
+
+    Missing positions are assumed perfect, which preserves the prefix
+    lower-bound property.
+    """
+
+    name = "mean"
+
+    def initial(self, sequence_length: int) -> tuple[float, int]:
+        if sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        return (0.0, sequence_length)
+
+    def extend(self, state: tuple[float, int], sim: float) -> tuple[float, int]:
+        deficit, n = state
+        return (deficit + (1.0 - sim), n)
+
+    def score(self, state: tuple[float, int]) -> float:
+        deficit, n = state
+        return deficit / n
+
+    def min_increment(
+        self, state: tuple[float, int], best_nonperfect: float | None
+    ) -> float:
+        if best_nonperfect is None:
+            return math.inf
+        _, n = state
+        return (1.0 - best_nonperfect) / n
+
+
+#: default aggregator (the paper's Eq. 7)
+DEFAULT_AGGREGATOR = ProductAggregator()
+
+_AGGREGATORS: dict[str, type[SemanticAggregator]] = {
+    ProductAggregator.name: ProductAggregator,
+    MinAggregator.name: MinAggregator,
+    MeanAggregator.name: MeanAggregator,
+}
+
+
+def aggregator_by_name(name: str) -> SemanticAggregator:
+    """Instantiate an aggregator from its registry name."""
+    try:
+        return _AGGREGATORS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_AGGREGATORS))
+        raise ValueError(f"unknown aggregator {name!r} (known: {known})") from None

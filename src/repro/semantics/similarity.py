@@ -1,0 +1,178 @@
+"""Category-similarity measures (Definition 3.3 / Eq. 6 of the paper).
+
+Definition 3.3 requires only that a similarity ``sim(c, c') ∈ [0, 1]``
+satisfies:
+
+* ``sim = 0`` iff the categories live in different trees (irrelevant);
+* ``0 < sim ≤ 1`` within the same tree (semantic match);
+* ``sim = 1`` for a perfect match.
+
+Three measures are provided:
+
+* :class:`HierarchyWuPalmer` — the paper's Eq. (6): a Wu–Palmer score
+  maximized over the ancestor closure of the PoI category.  Closed form:
+  ``2·d(L) / (d(c) + d(L))`` with ``L = lca(c, c')``, and exactly 1 when
+  the PoI category lies in the query category's subtree (consistent with
+  the paper's closure rule that a PoI is associated with all ancestors of
+  its category, so membership in ``P_c`` ⇔ perfect match).  This is the
+  library default.
+* :class:`ClassicWuPalmer` — the textbook symmetric Wu–Palmer score
+  ``2·d(lca) / (d(c) + d(c'))``; perfect only for identical categories.
+* :class:`PathLengthSimilarity` — ``1 / (1 + path length)``.
+
+All measures are stateless with small per-forest memoization; they are
+safe to share between engines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.semantics.category import CategoryForest
+
+
+class SimilarityMeasure(ABC):
+    """Pluggable similarity between a query category and a PoI category."""
+
+    #: human-readable identifier used in results / CLI
+    name: str = "abstract"
+
+    @abstractmethod
+    def similarity(
+        self, forest: CategoryForest, query_cid: int, poi_cid: int
+    ) -> float:
+        """Similarity of PoI category ``poi_cid`` w.r.t. query ``query_cid``."""
+
+    def is_perfect(
+        self, forest: CategoryForest, query_cid: int, poi_cid: int
+    ) -> bool:
+        """Perfect match ⇔ similarity 1 (Definition 3.3)."""
+        return self.similarity(forest, query_cid, poi_cid) >= 1.0
+
+    def best_nonperfect(
+        self, forest: CategoryForest, query_cid: int
+    ) -> float | None:
+        """Largest similarity strictly below 1 achievable for this query.
+
+        Used for the minimum semantic increment ``δ`` of Lemma 5.8 (the
+        paper's footnote 2: "the least increase ... is computed from the
+        category that is most similar (but not equal) to the next
+        category").  Returns ``None`` if every same-tree category is a
+        perfect match (then the semantic score cannot increase at all).
+
+        The generic implementation scans the query's tree; subclasses may
+        override with a closed form.
+        """
+        best: float | None = None
+        for cid in forest.categories_in_tree(forest.tree_id(query_cid)):
+            sim = self.similarity(forest, query_cid, cid)
+            if sim < 1.0 and (best is None or sim > best):
+                best = sim
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class HierarchyWuPalmer(SimilarityMeasure):
+    """The paper's Eq. (6) similarity (library default).
+
+    ``sim(c, c') = max_{ci ∈ a(c')} 2·d(dca(c, ci)) / (d(c) + d(ci))``
+
+    where ``a(c')`` is the ancestor closure of the PoI category and
+    ``dca`` the deepest common ancestor.  The maximum is attained at
+    ``ci = lca(c, c')`` which yields the closed form used below.  Under
+    this measure a PoI whose category is a *descendant* of the query
+    category is a perfect match (a Sushi Restaurant perfectly satisfies a
+    "Japanese Restaurant" request) — exactly the paper's closure-set
+    semantics of ``P_c``.
+    """
+
+    name = "hierarchy-wu-palmer"
+
+    def similarity(
+        self, forest: CategoryForest, query_cid: int, poi_cid: int
+    ) -> float:
+        if query_cid == poi_cid:
+            return 1.0
+        low = forest.lca(query_cid, poi_cid)
+        if low is None:
+            return 0.0
+        if low == query_cid:
+            # PoI category inside query's subtree → perfect (closure rule).
+            return 1.0
+        d_query = forest.depth(query_cid)
+        d_low = forest.depth(low)
+        return (2.0 * d_low) / (d_query + d_low)
+
+    def best_nonperfect(
+        self, forest: CategoryForest, query_cid: int
+    ) -> float | None:
+        parent = forest.parent_of(query_cid)
+        if parent is None:
+            # Root query: every same-tree category is in its subtree.
+            return None
+        d = forest.depth(query_cid)
+        # Matching at the parent level is the best non-perfect outcome.
+        return (2.0 * (d - 1)) / (d + (d - 1))
+
+
+class ClassicWuPalmer(SimilarityMeasure):
+    """Symmetric Wu–Palmer: ``2·d(lca) / (d(c) + d(c'))``."""
+
+    name = "classic-wu-palmer"
+
+    def similarity(
+        self, forest: CategoryForest, query_cid: int, poi_cid: int
+    ) -> float:
+        if query_cid == poi_cid:
+            return 1.0
+        low = forest.lca(query_cid, poi_cid)
+        if low is None:
+            return 0.0
+        d_low = forest.depth(low)
+        sim = (2.0 * d_low) / (forest.depth(query_cid) + forest.depth(poi_cid))
+        # Guard against float artifacts: distinct categories never reach 1.
+        return min(sim, 1.0 - 1e-12)
+
+
+class PathLengthSimilarity(SimilarityMeasure):
+    """``1 / (1 + tree path length)`` — the "path length" measure of
+    Definition 3.3 ([15, 19] in the paper)."""
+
+    name = "path-length"
+
+    def similarity(
+        self, forest: CategoryForest, query_cid: int, poi_cid: int
+    ) -> float:
+        length = forest.path_length(query_cid, poi_cid)
+        if length is None:
+            return 0.0
+        return 1.0 / (1.0 + length)
+
+    def best_nonperfect(
+        self, forest: CategoryForest, query_cid: int
+    ) -> float | None:
+        cat = forest.category(query_cid)
+        if cat.parent is None and not cat.children:
+            return None  # singleton tree: no distinct same-tree category
+        return 0.5  # path length 1 (parent or child) is always the best
+
+
+#: default measure used throughout the library (the paper's Eq. 6)
+DEFAULT_SIMILARITY = HierarchyWuPalmer()
+
+_MEASURES: dict[str, type[SimilarityMeasure]] = {
+    HierarchyWuPalmer.name: HierarchyWuPalmer,
+    ClassicWuPalmer.name: ClassicWuPalmer,
+    PathLengthSimilarity.name: PathLengthSimilarity,
+}
+
+
+def similarity_by_name(name: str) -> SimilarityMeasure:
+    """Instantiate a similarity measure from its registry name."""
+    try:
+        return _MEASURES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_MEASURES))
+        raise ValueError(f"unknown similarity {name!r} (known: {known})") from None

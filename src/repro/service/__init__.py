@@ -1,0 +1,28 @@
+"""Prototype service layer (Section 8): facade, GeoJSON, rendering, study."""
+
+from repro.service.geojson import (
+    route_feature,
+    route_waypoints,
+    routes_to_geojson,
+)
+from repro.service.prototype import RouteCard, ServiceResponse, SkySRService
+from repro.service.rendering import render_network, render_route_summary
+from repro.service.user_study import (
+    QUESTIONS,
+    StudyOutcome,
+    simulate_user_study,
+)
+
+__all__ = [
+    "SkySRService",
+    "ServiceResponse",
+    "RouteCard",
+    "routes_to_geojson",
+    "route_feature",
+    "route_waypoints",
+    "render_network",
+    "render_route_summary",
+    "simulate_user_study",
+    "StudyOutcome",
+    "QUESTIONS",
+]

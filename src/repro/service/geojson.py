@@ -1,0 +1,87 @@
+"""GeoJSON export of skyline routes (map rendering, Figure 7/8 style)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.routes import SkylineRoute
+from repro.graph.dijkstra import dijkstra
+from repro.graph.road_network import RoadNetwork
+
+
+def route_waypoints(
+    network: RoadNetwork, start: int, route: SkylineRoute
+) -> list[int]:
+    """The full vertex path start → p_1 → … → p_n (network geometry)."""
+    waypoints: list[int] = [start]
+    current = start
+    for target in route.pois:
+        _, pred = dijkstra(network, current, with_predecessors=True)  # type: ignore[misc]
+        if target not in pred and target != current:
+            waypoints.append(target)  # disconnected guard: jump
+            current = target
+            continue
+        leg = [target]
+        while leg[-1] != current:
+            leg.append(pred[leg[-1]])
+        waypoints.extend(reversed(leg[:-1]))
+        current = target
+    return waypoints
+
+
+def route_feature(
+    network: RoadNetwork,
+    start: int,
+    route: SkylineRoute,
+    *,
+    rank: int = 1,
+    full_geometry: bool = False,
+) -> dict:
+    """One route as a GeoJSON Feature (LineString + properties)."""
+    vertex_chain = (
+        route_waypoints(network, start, route)
+        if full_geometry
+        else [start, *route.pois]
+    )
+    coordinates = []
+    for vid in vertex_chain:
+        coords = network.coords(vid)
+        if coords is not None:
+            coordinates.append([coords[0], coords[1]])
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coordinates},
+        "properties": {
+            "rank": rank,
+            "length": route.length,
+            "semantic": route.semantic,
+            "pois": list(route.pois),
+        },
+    }
+
+
+def routes_to_geojson(
+    network: RoadNetwork,
+    start: int,
+    routes: list[SkylineRoute],
+    *,
+    full_geometry: bool = False,
+) -> dict:
+    """A FeatureCollection with one feature per skyline route."""
+    return {
+        "type": "FeatureCollection",
+        "features": [
+            route_feature(
+                network,
+                start,
+                route,
+                rank=rank,
+                full_geometry=full_geometry,
+            )
+            for rank, route in enumerate(routes, start=1)
+        ],
+    }
+
+
+def dumps(payload: dict) -> str:
+    return json.dumps(payload, indent=2)

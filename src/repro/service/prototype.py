@@ -1,0 +1,136 @@
+"""The prototype SkySR service (Section 8).
+
+The paper's prototype (deployed for the Santander municipality on
+OpenStreetMap + open PoI data) wraps the SkySR query behind a simple
+request/response interface: the user supplies a start location and a
+category wish-list; the service answers with the skyline routes, each
+presented as a card with distance, a semantic-fit percentage, and the
+PoI chain.  :class:`SkySRService` is that facade — examples and the
+simulated user study drive it, and :mod:`repro.service.geojson` turns
+its answers into map-ready payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import SkySREngine, SkySRResult
+from repro.core.options import BSSROptions
+from repro.core.routes import SkylineRoute
+from repro.datasets.paper_example import Dataset
+from repro.errors import QueryError
+from repro.graph.spatial import nearest_vertex
+
+
+@dataclass
+class RouteCard:
+    """One route as presented to an end user."""
+
+    rank: int
+    distance: float
+    semantic_fit: float  # 1.0 = perfect category match
+    stops: list[dict]
+    pois: tuple[int, ...] = ()
+
+    def headline(self) -> str:
+        fit = f"{self.semantic_fit * 100.0:.0f}% match"
+        stops = " -> ".join(stop["category"] for stop in self.stops)
+        return f"#{self.rank}: {self.distance:.3f} ({fit})  {stops}"
+
+
+@dataclass
+class ServiceResponse:
+    """A full service answer: cards plus the raw engine result."""
+
+    query: list[str]
+    start: int
+    cards: list[RouteCard]
+    result: SkySRResult = field(repr=False)
+
+    def best(self) -> RouteCard | None:
+        return self.cards[0] if self.cards else None
+
+    def render_text(self) -> str:
+        lines = [f"Routes for: {' -> '.join(self.query)}"]
+        if not self.cards:
+            lines.append("  (no feasible route)")
+        lines.extend("  " + card.headline() for card in self.cards)
+        return "\n".join(lines)
+
+
+class SkySRService:
+    """User-facing facade over one dataset (Section 8 prototype)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        options: BSSROptions | None = None,
+        max_routes: int | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.engine = SkySREngine(
+            dataset.network, dataset.forest, options=options
+        )
+        self.max_routes = max_routes
+
+    def plan(
+        self,
+        categories: list[str],
+        *,
+        start: int | None = None,
+        near: tuple[float, float] | None = None,
+        destination: int | None = None,
+        ordered: bool = True,
+    ) -> ServiceResponse:
+        """Answer one trip request.
+
+        ``start`` may be a vertex id or a map coordinate (``near``),
+        which is snapped to the closest network vertex, as the paper's
+        web prototype does with a map click.
+        """
+        if start is None:
+            if near is None:
+                raise QueryError("plan() needs a start vertex or a location")
+            start = nearest_vertex(self.dataset.network, near)
+        result = self.engine.query(
+            start,
+            list(categories),
+            destination=destination,
+            ordered=ordered,
+        )
+        cards = self._cards(result)
+        if self.max_routes is not None:
+            cards = cards[: self.max_routes]
+        return ServiceResponse(
+            query=[str(c) for c in categories],
+            start=start,
+            cards=cards,
+            result=result,
+        )
+
+    def _cards(self, result: SkySRResult) -> list[RouteCard]:
+        cards = []
+        for rank, route in enumerate(result.routes, start=1):
+            cards.append(
+                RouteCard(
+                    rank=rank,
+                    distance=route.length,
+                    semantic_fit=1.0 - route.semantic,
+                    stops=self._stops(result, route),
+                    pois=route.pois,
+                )
+            )
+        return cards
+
+    def _stops(self, result: SkySRResult, route: SkylineRoute) -> list[dict]:
+        network = self.dataset.network
+        names = result.poi_category_names(route)
+        stops = []
+        for vid, name, sim in zip(route.pois, names, route.sims):
+            stop = {"poi": vid, "category": name, "similarity": sim}
+            coords = network.coords(vid)
+            if coords is not None:
+                stop["x"], stop["y"] = coords
+            stops.append(stop)
+        return stops

@@ -1,0 +1,75 @@
+"""ASCII map rendering of networks and routes (Figure 7 stand-in).
+
+Terminal-friendly: the network's bounding box is rasterized onto a
+character grid; road vertices are dots, PoIs letters, the start ``S``,
+the destination ``D``, and a highlighted route's PoIs digits in
+visiting order.  Used by the examples to show where routes go without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.routes import SkylineRoute
+from repro.graph.road_network import RoadNetwork
+from repro.graph.spatial import bounding_box
+
+
+def render_network(
+    network: RoadNetwork,
+    *,
+    width: int = 72,
+    height: int = 24,
+    start: int | None = None,
+    destination: int | None = None,
+    route: SkylineRoute | None = None,
+    poi_char: str = "o",
+) -> str:
+    """Rasterize the network (and optionally one route) to ASCII art."""
+    min_x, min_y, max_x, max_y = bounding_box(network)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def cell(vid: int) -> tuple[int, int] | None:
+        coords = network.coords(vid)
+        if coords is None:
+            return None
+        col = int((coords[0] - min_x) / span_x * (width - 1))
+        row = int((coords[1] - min_y) / span_y * (height - 1))
+        return row, col
+
+    grid = [[" "] * width for _ in range(height)]
+    for vid in network.vertices():
+        pos = cell(vid)
+        if pos is None:
+            continue
+        row, col = pos
+        grid[row][col] = poi_char if network.is_poi(vid) else "."
+    if route is not None:
+        for order, vid in enumerate(route.pois, start=1):
+            pos = cell(vid)
+            if pos is not None:
+                row, col = pos
+                grid[row][col] = str(order % 10)
+    if start is not None:
+        pos = cell(start)
+        if pos is not None:
+            grid[pos[0]][pos[1]] = "S"
+    if destination is not None:
+        pos = cell(destination)
+        if pos is not None:
+            grid[pos[0]][pos[1]] = "D"
+    # y grows upward on maps: print top row last-to-first.
+    return "\n".join("".join(row) for row in reversed(grid))
+
+
+def render_route_summary(
+    network: RoadNetwork, route: SkylineRoute, names: list[str] | None = None
+) -> str:
+    """One-line itinerary: ``S -> Museum -> Jazz Club (total …)``."""
+    parts = ["S"]
+    for i, vid in enumerate(route.pois):
+        parts.append(names[i] if names else str(vid))
+    return (
+        " -> ".join(parts)
+        + f"   (total {route.length:.3f}, semantic {route.semantic:.3f})"
+    )

@@ -1,0 +1,121 @@
+"""Simulated user study (Section 8, Figure 9).
+
+The paper ran a July-2017 field test in Santander: 25 respondents used
+the prototype and answered three questions (Q1 like the service? Q2
+recommend it? Q3 good for the city?).  A human panel cannot be
+reproduced computationally; this module substitutes a *simulated*
+respondent panel that exercises the identical service code path:
+
+* each synthetic respondent carries a walking-budget and a semantic
+  tolerance drawn from a seeded distribution;
+* the respondent runs a real query through
+  :class:`~repro.service.prototype.SkySRService`, inspects the skyline
+  cards, and derives a satisfaction score — how much shorter the best
+  acceptable skyline route is than the perfect-match route, and whether
+  a choice existed at all;
+* satisfaction maps to the three answer scales.
+
+The output is a Figure-9-shaped answer-ratio table.  This is a model,
+not evidence about humans; see EXPERIMENTS.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.paper_example import Dataset
+from repro.datasets.workloads import generate_workload
+from repro.service.prototype import SkySRService
+
+QUESTIONS = {
+    "Q1": ("I love it", "I like it", "I do not like it"),
+    "Q2": ("Yes", "Maybe", "No"),
+    "Q3": ("Yes", "Maybe", "No"),
+}
+
+
+@dataclass
+class StudyOutcome:
+    """Answer counts per question (index 0 = most positive)."""
+
+    respondents: int
+    answers: dict[str, list[int]]
+    mean_satisfaction: float
+
+    def ratios(self, question: str) -> list[float]:
+        counts = self.answers[question]
+        total = sum(counts) or 1
+        return [c / total for c in counts]
+
+    def render_text(self) -> str:
+        lines = [f"simulated respondents: {self.respondents}"]
+        for question, labels in QUESTIONS.items():
+            ratios = self.ratios(question)
+            rendered = ", ".join(
+                f"{label}: {ratio * 100.0:.0f}%"
+                for label, ratio in zip(labels, ratios)
+            )
+            lines.append(f"{question}  {rendered}")
+        return "\n".join(lines)
+
+
+def _satisfaction(service: SkySRService, query, rng: random.Random) -> float:
+    """One respondent's satisfaction in [0, 1]."""
+    response = service.plan(
+        [service.dataset.forest.name_of(c) for c in query.categories],
+        start=query.start,
+    )
+    cards = response.cards
+    if not cards:
+        return 0.0
+    tolerance = rng.uniform(0.2, 0.9)  # semantic fit the user still accepts
+    acceptable = [c for c in cards if c.semantic_fit >= tolerance]
+    if not acceptable:
+        acceptable = [max(cards, key=lambda c: c.semantic_fit)]
+    perfect = next((c for c in cards if c.semantic_fit >= 1.0), None)
+    best = min(acceptable, key=lambda c: c.distance)
+    saving = 0.0
+    if perfect is not None and perfect.distance > 0:
+        saving = max(0.0, 1.0 - best.distance / perfect.distance)
+    choice_bonus = min(len(cards), 4) / 4.0 * 0.3
+    return min(1.0, 0.35 + 0.6 * saving + choice_bonus * rng.uniform(0.5, 1.0))
+
+
+def simulate_user_study(
+    dataset: Dataset,
+    *,
+    respondents: int = 25,
+    sequence_size: int = 3,
+    seed: int = 2017,
+) -> StudyOutcome:
+    """Run the simulated panel against a dataset's SkySR service."""
+    rng = random.Random(seed)
+    service = SkySRService(dataset)
+    workload = generate_workload(
+        dataset, sequence_size, respondents, seed=seed, leaf_only=False
+    )
+    answers = {q: [0, 0, 0] for q in QUESTIONS}
+    satisfactions = []
+    for query in workload:
+        satisfaction = _satisfaction(service, query, rng)
+        satisfactions.append(satisfaction)
+        for question, (hi, mid) in {
+            "Q1": (0.75, 0.45),
+            "Q2": (0.7, 0.4),
+            "Q3": (0.6, 0.35),
+        }.items():
+            noisy = satisfaction + rng.uniform(-0.08, 0.08)
+            if noisy >= hi:
+                answers[question][0] += 1
+            elif noisy >= mid:
+                answers[question][1] += 1
+            else:
+                answers[question][2] += 1
+    mean = sum(satisfactions) / len(satisfactions) if satisfactions else 0.0
+    return StudyOutcome(
+        respondents=len(satisfactions),
+        answers=answers,
+        mean_satisfaction=mean,
+    )

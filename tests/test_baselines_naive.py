@@ -1,0 +1,112 @@
+"""Naive SkySR (super-sequence enumeration) vs the brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import (
+    brute_force_skysr,
+    enumerate_sequenced_routes,
+)
+from repro.baselines.naive import naive_skysr
+from repro.baselines.supercat import (
+    ancestor_options,
+    count_super_sequences,
+    super_sequences,
+)
+from repro.core.spec import compile_query
+from repro.graph.poi import PoIIndex
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import pick_query, random_instance, score_set, small_forest
+
+
+def test_ancestor_options_and_enumeration():
+    forest = small_forest()
+    ramen = forest.resolve("Ramen")
+    gift = forest.resolve("Gift")
+    options = ancestor_options(forest, ramen)
+    assert [forest.name_of(c) for c in options] == ["Ramen", "Asian", "Food"]
+    sequences = list(super_sequences(forest, [ramen, gift]))
+    assert len(sequences) == 6  # 3 ancestors × 2 ancestors
+    assert sequences[0] == (ramen, gift)  # original first
+    assert count_super_sequences(forest, [ramen, gift]) == 6
+    assert count_super_sequences(forest, [ramen, ramen, gift]) == 18
+
+
+@pytest.mark.parametrize("method", ["dijkstra", "pne"])
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 50_000))
+def test_property_naive_matches_oracle(method, seed):
+    network, forest, rng = random_instance(seed, num_pois=10)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        return
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    expected = brute_force_skysr(network, compiled)
+    actual, stats = naive_skysr(
+        network, index, start, cats, method=method
+    )
+    assert score_set(actual) == score_set(expected), f"seed={seed}"
+    assert stats.super_sequences == count_super_sequences(forest, cats)
+    assert stats.osr_calls == stats.super_sequences
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 50_000))
+def test_property_naive_with_destination(seed):
+    network, forest, rng = random_instance(seed, num_pois=8)
+    query = pick_query(network, forest, rng, 2)
+    if query is None:
+        return
+    start, cats = query
+    dest = rng.randrange(network.num_vertices)
+    index = PoIIndex(network, forest)
+    compiled = compile_query(
+        start, cats, index, HierarchyWuPalmer(), destination=dest
+    )
+    expected = brute_force_skysr(network, compiled)
+    actual, _ = naive_skysr(
+        network, index, start, cats, method="dijkstra", destination=dest
+    )
+    assert score_set(actual) == score_set(expected), f"seed={seed}"
+
+
+def test_naive_rejects_unknown_method():
+    network, forest, rng = random_instance(0)
+    index = PoIIndex(network, forest)
+    with pytest.raises(ValueError):
+        naive_skysr(network, index, 0, [forest.resolve("Ramen")], method="x")
+
+
+def test_naive_deadline_sets_timeout_flag():
+    network, forest, rng = random_instance(1, num_pois=12)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        pytest.skip("no query")
+    start, cats = query
+    index = PoIIndex(network, forest)
+    _, stats = naive_skysr(
+        network, index, start, cats, deadline=0.0
+    )
+    assert stats.extra.get("timed_out")
+
+
+def test_enumerate_sequenced_routes_superset_of_skyline():
+    network, forest, rng = random_instance(4, num_pois=9)
+    query = pick_query(network, forest, rng, 2)
+    if query is None:
+        pytest.skip("no query")
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    every = enumerate_sequenced_routes(network, compiled)
+    skyline = brute_force_skysr(network, compiled)
+    assert score_set(skyline) <= score_set(every)
+    assert len(every) >= len(skyline)
+    for route in every:
+        assert len(set(route.pois)) == len(route.pois)

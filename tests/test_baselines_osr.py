@@ -1,0 +1,133 @@
+"""OSR solvers: the Dijkstra-based solution vs PNE vs enumeration."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.osr_dijkstra import osr_dijkstra
+from repro.baselines.osr_pne import osr_pne
+from repro.graph.dijkstra import dijkstra
+
+from .conftest import attach_integer_pois, integer_grid, small_forest
+
+
+def _osr_brute(network, start, candidate_sets, destination=None):
+    """Reference OSR by full enumeration (distinct PoIs)."""
+    dist_cache = {}
+
+    def dmap(v):
+        if v not in dist_cache:
+            dist_cache[v] = dijkstra(network, v)
+        return dist_cache[v]
+
+    best = None
+    for combo in itertools.product(*candidate_sets):
+        if len(set(combo)) != len(combo):
+            continue
+        length = dmap(start).get(combo[0], math.inf)
+        for a, b in zip(combo, combo[1:]):
+            length += dmap(a).get(b, math.inf)
+        if destination is not None:
+            length += dmap(combo[-1]).get(destination, math.inf)
+        if length < math.inf and (best is None or length < best[0]):
+            best = (length, combo)
+    return best
+
+
+def _instance(seed, sets=3, pois=9):
+    rng = random.Random(seed)
+    forest = small_forest()
+    net = integer_grid(4, 4, rng)
+    leaf_ids = forest.leaves()
+    attach_integer_pois(net, pois, leaf_ids, rng)
+    vids = net.poi_vertices()
+    rng.shuffle(vids)
+    chunk = max(1, len(vids) // sets)
+    candidate_sets = [
+        set(vids[i * chunk:(i + 1) * chunk]) for i in range(sets)
+    ]
+    if any(not s for s in candidate_sets):
+        return None
+    start = rng.randrange(net.num_vertices)
+    return net, start, candidate_sets
+
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 50_000))
+def test_property_osr_solvers_agree(seed):
+    built = _instance(seed)
+    if built is None:
+        return
+    net, start, candidate_sets = built
+    expected = _osr_brute(net, start, candidate_sets)
+    dij = osr_dijkstra(net, start, candidate_sets)
+    pne = osr_pne(net, start, candidate_sets)
+    if expected is None:
+        assert dij is None or len(set(dij[1])) != len(dij[1])
+        assert pne is None
+        return
+    assert pne is not None and dij is not None
+    assert pne[0] == expected[0]
+    # Dij may pick a PoI twice only when candidate sets overlap AND the
+    # repeat is optimal; on disjoint chunks lengths must agree.
+    assert dij[0] == expected[0]
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 50_000))
+def test_property_osr_with_destination(seed):
+    built = _instance(seed, sets=2)
+    if built is None:
+        return
+    net, start, candidate_sets = built
+    rng = random.Random(seed + 1)
+    dest = rng.randrange(net.num_vertices)
+    expected = _osr_brute(net, start, candidate_sets, destination=dest)
+    dij = osr_dijkstra(net, start, candidate_sets, destination=dest)
+    pne = osr_pne(net, start, candidate_sets, destination=dest)
+    if expected is None:
+        assert pne is None
+        return
+    assert dij is not None and pne is not None
+    assert dij[0] == expected[0]
+    assert pne[0] == expected[0]
+
+
+def test_osr_empty_candidate_set_returns_none():
+    rng = random.Random(0)
+    net = integer_grid(3, 3, rng)
+    assert osr_dijkstra(net, 0, [set()]) is None
+    assert osr_pne(net, 0, [set()]) is None
+
+
+def test_osr_route_is_reconstructed_in_order():
+    rng = random.Random(1)
+    forest = small_forest()
+    net = integer_grid(3, 3, rng, extra_edges=0)
+    pois = attach_integer_pois(net, 4, forest.leaves(), rng)
+    sets = [{pois[0], pois[1]}, {pois[2], pois[3]}]
+    found = osr_dijkstra(net, 0, sets)
+    assert found is not None
+    length, route = found
+    assert route[0] in sets[0] and route[1] in sets[1]
+    d0 = dijkstra(net, 0)
+    d1 = dijkstra(net, route[0])
+    assert length == pytest.approx(d0[route[0]] + d1[route[1]])
+
+
+def test_pne_skips_duplicate_poi_extensions():
+    """A PoI in both candidate sets must not be visited twice."""
+    rng = random.Random(2)
+    net = integer_grid(3, 3, rng, extra_edges=0)
+    shared = net.add_poi(1)
+    other = net.add_poi(2)
+    net.add_edge(0, shared, 1.0)
+    net.add_edge(shared, other, 5.0)
+    found = osr_pne(net, 0, [{shared, other}, {shared, other}])
+    assert found is not None
+    _, route = found
+    assert len(set(route)) == 2

@@ -1,0 +1,177 @@
+"""Unit tests for the category forest (semantic hierarchy substrate)."""
+
+import pytest
+
+from repro.errors import CategoryError
+from repro.semantics.category import CategoryForest
+
+from .conftest import small_forest
+
+
+def test_add_root_and_children():
+    forest = CategoryForest()
+    food = forest.add_root("Food")
+    asian = forest.add_child(food, "Asian")
+    ramen = forest.add_child("Asian", "Ramen")
+    assert forest.depth(food) == 1
+    assert forest.depth(asian) == 2
+    assert forest.depth(ramen) == 3
+    assert forest.tree_id(ramen) == food
+    assert forest.parent_of(ramen) == asian
+    assert forest.children_of(food) == [asian]
+    assert len(forest) == 3
+
+
+def test_add_path_idempotent():
+    forest = CategoryForest()
+    leaf = forest.add_path("Food", "Asian", "Ramen")
+    again = forest.add_path("Food", "Asian", "Ramen")
+    assert leaf == again
+    assert len(forest) == 3
+    sibling = forest.add_path("Food", "Asian", "Sushi")
+    assert forest.parent_of(sibling) == forest.resolve("Asian")
+
+
+def test_add_path_conflicts():
+    forest = CategoryForest()
+    forest.add_path("Food", "Asian")
+    with pytest.raises(CategoryError):
+        forest.add_path("Asian")  # exists but is not a root
+    forest.add_path("Shop")
+    with pytest.raises(CategoryError):
+        forest.add_path("Shop", "Asian")  # exists under a different parent
+
+
+def test_duplicate_and_empty_names_rejected():
+    forest = CategoryForest()
+    forest.add_root("Food")
+    with pytest.raises(CategoryError):
+        forest.add_root("Food")
+    with pytest.raises(CategoryError):
+        forest.add_child("Food", "Food")
+    with pytest.raises(CategoryError):
+        forest.add_root("")
+
+
+def test_resolve_variants():
+    forest = small_forest()
+    cid = forest.resolve("Ramen")
+    assert forest.resolve(cid) == cid
+    assert forest.resolve(forest.category(cid)) == cid
+    assert forest.name_of(cid) == "Ramen"
+    with pytest.raises(CategoryError):
+        forest.resolve("Nope")
+    with pytest.raises(CategoryError):
+        forest.resolve(10_000)
+
+
+def test_contains_and_iteration():
+    forest = small_forest()
+    assert "Food" in forest
+    assert "Nope" not in forest
+    assert forest.resolve("Food") in forest
+    assert 99_999 not in forest
+    assert 3.14 not in forest
+    names = {cat.name for cat in forest}
+    assert {"Food", "Asian", "Ramen", "Gift"} <= names
+    assert set(forest.names()) == names
+
+
+def test_ancestors_chain():
+    forest = small_forest()
+    ramen = forest.resolve("Ramen")
+    chain = forest.ancestors(ramen)
+    assert [forest.name_of(c) for c in chain] == ["Ramen", "Asian", "Food"]
+    assert forest.ancestors(ramen, include_self=False) == chain[1:]
+    root = forest.resolve("Food")
+    assert forest.ancestors(root) == [root]
+
+
+def test_is_ancestor_or_self():
+    forest = small_forest()
+    food, asian, ramen = (
+        forest.resolve("Food"),
+        forest.resolve("Asian"),
+        forest.resolve("Ramen"),
+    )
+    gift = forest.resolve("Gift")
+    assert forest.is_ancestor_or_self(food, ramen)
+    assert forest.is_ancestor_or_self(asian, ramen)
+    assert forest.is_ancestor_or_self(ramen, ramen)
+    assert not forest.is_ancestor_or_self(ramen, asian)
+    assert not forest.is_ancestor_or_self(food, gift)  # different trees
+
+
+def test_euler_intervals_refresh_after_mutation():
+    forest = small_forest()
+    food = forest.resolve("Food")
+    assert forest.is_ancestor_or_self(food, forest.resolve("Ramen"))
+    new_leaf = forest.add_child("Italian", "Trattoria")
+    assert forest.is_ancestor_or_self(food, new_leaf)
+    assert forest.is_ancestor_or_self(forest.resolve("Italian"), new_leaf)
+
+
+def test_lca():
+    forest = small_forest()
+    assert forest.lca("Ramen", "Sushi") == forest.resolve("Asian")
+    assert forest.lca("Ramen", "Italian") == forest.resolve("Food")
+    assert forest.lca("Ramen", "Ramen") == forest.resolve("Ramen")
+    assert forest.lca("Ramen", "Asian") == forest.resolve("Asian")
+    assert forest.lca("Ramen", "Gift") is None
+
+
+def test_subtree_and_leaves():
+    forest = small_forest()
+    food_subtree = {forest.name_of(c) for c in forest.subtree("Food")}
+    assert food_subtree == {"Food", "Asian", "Ramen", "Sushi", "Italian", "Bakery"}
+    leaves = {forest.name_of(c) for c in forest.leaves("Food")}
+    assert leaves == {"Ramen", "Sushi", "Italian", "Bakery"}
+    all_leaves = forest.leaves()
+    assert forest.resolve("Jazz") in all_leaves
+    assert forest.resolve("Food") not in all_leaves
+
+
+def test_path_length():
+    forest = small_forest()
+    assert forest.path_length("Ramen", "Sushi") == 2
+    assert forest.path_length("Ramen", "Asian") == 1
+    assert forest.path_length("Ramen", "Ramen") == 0
+    assert forest.path_length("Ramen", "Bakery") == 3
+    assert forest.path_length("Ramen", "Gift") is None
+
+
+def test_max_depth():
+    forest = small_forest()
+    assert forest.max_depth() == 3
+    assert forest.max_depth("Shop") == 3
+    single = CategoryForest()
+    single.add_root("Only")
+    assert single.max_depth() == 1
+
+
+def test_validate_ok():
+    small_forest().validate()
+
+
+def test_serialization_roundtrip():
+    forest = small_forest()
+    payload = forest.to_dict()
+    clone = CategoryForest.from_dict(payload)
+    assert clone.names() == forest.names()
+    assert clone.roots == forest.roots
+    for cat in forest:
+        other = clone.category(cat.cid)
+        assert (other.name, other.parent, other.depth, other.tree_id) == (
+            cat.name,
+            cat.parent,
+            cat.depth,
+            cat.tree_id,
+        )
+    clone.validate()
+
+
+def test_from_dict_rejects_sparse_ids():
+    with pytest.raises(CategoryError):
+        CategoryForest.from_dict(
+            {"categories": [{"cid": 1, "name": "A", "parent": None}]}
+        )

@@ -1,0 +1,98 @@
+"""PoI placement: edge embedding, category skew, clustering."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.datasets.poi_placement import (
+    assign_categories,
+    place_pois_clustered,
+    place_pois_uniform,
+    zipf_weights,
+)
+from repro.datasets.synthetic import grid_city
+from repro.errors import DataError
+from repro.graph.dijkstra import dijkstra
+from repro.graph.spatial import euclidean
+
+from .conftest import small_forest
+
+
+def test_zipf_weights_decreasing():
+    weights = zipf_weights(5)
+    assert weights == [1.0, 0.5, 1 / 3, 0.25, 0.2]
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+
+
+def test_assign_categories_skew():
+    rng = random.Random(0)
+    cats = list(range(20))
+    drawn = assign_categories(5000, cats, rng, skew=1.2)
+    counts = sorted(
+        (drawn.count(c) for c in cats), reverse=True
+    )
+    assert counts[0] > counts[-1] * 3  # visibly biased
+    with pytest.raises(DataError):
+        assign_categories(5, [], rng)
+
+
+def test_place_pois_uniform_embeds_on_edges():
+    forest = small_forest()
+    net = grid_city(6, 6, seed=3)
+    edges_before = net.num_edges
+    before = dijkstra(net, 0)
+    pois = place_pois_uniform(net, forest, 25, seed=4)
+    assert len(pois) == 25
+    assert net.num_pois == 25
+    assert net.num_edges == edges_before + 50  # two half-edges per PoI
+    # every PoI has exactly two road attachments summing to an edge weight
+    for pid in pois:
+        assert net.degree(pid) == 2
+        assert net.is_poi(pid)
+        assert net.coords(pid) is not None
+    # shortest paths between original vertices are unchanged
+    after = dijkstra(net, 0)
+    for vid, dist in before.items():
+        assert after[vid] == pytest.approx(dist)
+
+
+def test_place_pois_uniform_category_restriction():
+    forest = small_forest()
+    net = grid_city(4, 4, seed=5)
+    only = [forest.resolve("Gift")]
+    pois = place_pois_uniform(net, forest, 8, categories=only, seed=6)
+    for pid in pois:
+        assert net.poi_categories(pid) == (forest.resolve("Gift"),)
+
+
+def test_place_pois_clustered_is_spatially_concentrated():
+    forest = small_forest()
+    uniform_net = grid_city(14, 14, seed=7)
+    clustered_net = grid_city(14, 14, seed=7)
+    place_pois_uniform(uniform_net, forest, 60, seed=8)
+    place_pois_clustered(
+        clustered_net, forest, 60, num_clusters=2, walk_length=2, seed=8
+    )
+
+    def mean_pairwise(net):
+        coords = [net.coords(p) for p in net.poi_vertices()]
+        pairs = [
+            euclidean(a, b)
+            for i, a in enumerate(coords)
+            for b in coords[i + 1:]
+        ]
+        return statistics.mean(pairs)
+
+    assert mean_pairwise(clustered_net) < mean_pairwise(uniform_net)
+
+
+def test_placement_requires_edges():
+    forest = small_forest()
+    from repro.graph.road_network import RoadNetwork
+
+    empty = RoadNetwork()
+    empty.add_vertex()
+    with pytest.raises(DataError):
+        place_pois_uniform(empty, forest, 3)

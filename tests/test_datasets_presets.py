@@ -1,0 +1,96 @@
+"""Presets (Table 5 stand-ins), taxonomy generator, paper example."""
+
+import pytest
+
+from repro.datasets.presets import by_name, cal_like, mini_city, nyc_like, tokyo_like
+from repro.datasets.taxonomy import forest_statistics, synthetic_forest
+from repro.errors import DataError
+
+
+def test_tokyo_like_ratios():
+    data = tokyo_like(0.2)
+    card = data.summary()
+    ratio = card["|P|"] / card["|V|"]
+    assert 0.3 < ratio < 0.6  # paper: 174421/401893 ≈ 0.43
+    assert card["trees"] == 10
+    assert data.network.is_connected()
+    assert data.meta["paper"]["|V|"] == 401_893
+
+
+def test_nyc_like_clustered():
+    data = nyc_like(0.2)
+    assert data.meta["placement"] == "clustered"
+    assert data.summary()["trees"] == 10
+    assert data.network.is_connected()
+
+
+def test_cal_like_poi_heavy():
+    data = cal_like(0.2)
+    card = data.summary()
+    assert card["|P|"] > 2 * card["|V|"]  # paper: 87365/21048 ≈ 4.15
+    stats = forest_statistics(data.forest)
+    assert stats["max_depth"] == 3
+    assert stats["trees"] == 49
+    assert 600 <= stats["categories"] <= 700  # paper: 635 categories
+
+
+def test_presets_deterministic():
+    a = tokyo_like(0.1, seed=5)
+    b = tokyo_like(0.1, seed=5)
+    assert sorted(a.network.edges()) == sorted(b.network.edges())
+    assert a.network.poi_vertices() == b.network.poi_vertices()
+
+
+def test_scale_validation():
+    for factory in (tokyo_like, nyc_like, cal_like):
+        with pytest.raises(DataError):
+            factory(0.0)
+
+
+def test_by_name_registry():
+    assert by_name("mini").name == "figure1"
+    assert by_name("figure1").name == "figure1"
+    assert by_name("tokyo", 0.1).name == "tokyo-like"
+    assert by_name("cal", 0.1, seed=9).meta["seed"] == 9
+    with pytest.raises(DataError):
+        by_name("berlin")
+
+
+def test_synthetic_forest_shape():
+    forest = synthetic_forest(4, height=3, fanout=3)
+    stats = forest_statistics(forest)
+    assert stats["trees"] == 4
+    assert stats["categories"] == 4 * 13  # 1 + 3 + 9 per tree
+    assert stats["leaves"] == 4 * 9
+    assert stats["max_depth"] == 3
+    forest.validate()
+    with pytest.raises(DataError):
+        synthetic_forest(0)
+
+
+def test_mini_city_landmarks(figure1):
+    data = mini_city()
+    assert "station" in data.landmarks
+    assert data.landmarks["station"] == data.landmarks["vq"]
+    assert set(figure1.landmarks) <= set(data.landmarks) | {"station"}
+    assert data.network.num_pois == 13
+    # all 13 PoIs carry Figure-1 categories
+    names = {
+        data.forest.name_of(data.network.poi_categories(v)[0])
+        for v in data.network.poi_vertices()
+    }
+    assert names == {
+        "Asian Restaurant",
+        "Italian Restaurant",
+        "Arts & Entertainment",
+        "Museum",
+        "Gift Shop",
+        "Hobby Shop",
+    }
+
+
+def test_dataset_summary_and_index_cache(figure1):
+    card = figure1.summary()
+    assert card["name"] == "figure1"
+    assert card["|P|"] == 13
+    assert figure1.index is figure1.index  # cached snapshot

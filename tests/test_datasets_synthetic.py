@@ -1,0 +1,56 @@
+"""Synthetic network generators: connectivity, determinism, shapes."""
+
+import pytest
+
+from repro.datasets.synthetic import grid_city, radial_city, random_geometric
+from repro.errors import DataError
+
+
+def test_grid_city_connected_and_sized():
+    net = grid_city(8, 10, seed=0)
+    assert net.num_vertices == 80
+    assert net.is_connected()
+    assert net.has_coords()
+    assert net.num_edges >= 79  # at least a spanning tree survives
+    # weights equal Euclidean segment lengths → all positive
+    assert all(w > 0 for _, _, w in net.edges())
+
+
+def test_grid_city_deterministic_per_seed():
+    a = grid_city(6, 6, seed=5)
+    b = grid_city(6, 6, seed=5)
+    c = grid_city(6, 6, seed=6)
+    assert sorted(a.edges()) == sorted(b.edges())
+    assert sorted(a.edges()) != sorted(c.edges())
+
+
+def test_grid_city_heavy_removal_still_connected():
+    net = grid_city(10, 10, removal_prob=0.9, seed=2)
+    assert net.is_connected()
+
+
+def test_grid_city_validation():
+    with pytest.raises(DataError):
+        grid_city(1, 5)
+
+
+def test_random_geometric_connected_low_degree():
+    net = random_geometric(120, k_neighbors=3, seed=1)
+    assert net.num_vertices == 120
+    assert net.is_connected()
+    mean_degree = sum(net.degree(v) for v in net.vertices()) / 120
+    assert mean_degree < 8.0  # sparse, Cal-like
+    with pytest.raises(DataError):
+        random_geometric(1)
+
+
+def test_radial_city_shape():
+    net = radial_city(3, 8, seed=0)
+    assert net.num_vertices == 1 + 3 * 8
+    assert net.is_connected()
+    # center has one spoke edge per spoke
+    assert net.degree(0) == 8
+    with pytest.raises(DataError):
+        radial_city(0, 8)
+    with pytest.raises(DataError):
+        radial_city(2, 2)

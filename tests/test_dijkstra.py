@@ -1,0 +1,147 @@
+"""Dijkstra variants vs networkx ground truth + resumable semantics."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dijkstra import (
+    ResumableDijkstra,
+    bounded_dijkstra,
+    dijkstra,
+    eccentricity,
+    multi_source_min_distance,
+    shortest_path,
+)
+from repro.graph.io import to_networkx
+from repro.graph.road_network import RoadNetwork
+
+from .conftest import integer_grid
+
+
+def _nx_distances(net, source):
+    graph = to_networkx(net)
+    return nx.single_source_dijkstra_path_length(graph, source)
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 10_000))
+def test_property_dijkstra_matches_networkx(seed):
+    rng = random.Random(seed)
+    net = integer_grid(4, 5, rng, extra_edges=4)
+    source = rng.randrange(net.num_vertices)
+    ours = dijkstra(net, source)
+    theirs = _nx_distances(net, source)
+    assert ours == theirs
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 10_000))
+def test_property_directed_reverse_dijkstra(seed):
+    rng = random.Random(seed)
+    net = integer_grid(3, 4, rng, directed=True, extra_edges=3)
+    target = rng.randrange(net.num_vertices)
+    reverse = dijkstra(net, target, reverse=True)
+    graph = to_networkx(net)
+    for v in net.vertices():
+        try:
+            expected = nx.dijkstra_path_length(graph, v, target)
+        except nx.NetworkXNoPath:
+            expected = None
+        if expected is None:
+            assert v not in reverse
+        else:
+            assert reverse[v] == expected
+
+
+def test_bounded_dijkstra_cuts_at_radius():
+    rng = random.Random(1)
+    net = integer_grid(5, 5, rng, extra_edges=0)
+    full = dijkstra(net, 0)
+    ball = bounded_dijkstra(net, 0, 3.0)
+    assert ball == {v: d for v, d in full.items() if d < 3.0}
+    assert bounded_dijkstra(net, 0, math.inf) == full
+    assert bounded_dijkstra(net, 0, 0.0) == {}
+
+
+def test_shortest_path_reconstruction():
+    net = RoadNetwork()
+    a, b, c, d = (net.add_vertex() for _ in range(4))
+    net.add_edge(a, b, 1.0)
+    net.add_edge(b, c, 1.0)
+    net.add_edge(a, c, 5.0)
+    dist, path = shortest_path(net, a, c)
+    assert dist == 2.0
+    assert path == [a, b, c]
+    dist, path = shortest_path(net, a, d)
+    assert dist == math.inf and path == []
+
+
+def test_multi_source_min_distance_exact():
+    rng = random.Random(2)
+    net = integer_grid(4, 4, rng, extra_edges=2)
+    sources, targets = [0, 5], [10, 15]
+    expected = min(
+        dijkstra(net, s).get(t, math.inf) for s in sources for t in targets
+    )
+    assert multi_source_min_distance(net, sources, targets) == expected
+    # overlap → zero; empty sets → inf; radius truncation → radius
+    assert multi_source_min_distance(net, [3], [3]) == 0.0
+    assert multi_source_min_distance(net, [], [3]) == math.inf
+    assert multi_source_min_distance(net, [3], []) == math.inf
+    truncated = multi_source_min_distance(net, sources, targets, radius=0.5)
+    assert truncated in (0.5, expected)
+    assert truncated <= expected
+
+
+def test_multi_source_unreachable_is_inf():
+    net = RoadNetwork()
+    a, b = net.add_vertex(), net.add_vertex()
+    c, d = net.add_vertex(), net.add_vertex()
+    net.add_edge(a, b, 1.0)
+    net.add_edge(c, d, 1.0)
+    assert multi_source_min_distance(net, [a], [c]) == math.inf
+
+
+def test_eccentricity():
+    rng = random.Random(3)
+    net = integer_grid(3, 3, rng, extra_edges=0)
+    assert eccentricity(net, 0) == 4.0  # corner to corner on a 3x3 grid
+
+
+def test_resumable_settles_in_distance_order():
+    rng = random.Random(4)
+    net = integer_grid(4, 4, rng, extra_edges=3)
+    search = ResumableDijkstra(net, 0)
+    settled = []
+    while not search.exhausted:
+        step = search.settle_next()
+        assert step is not None
+        settled.append(step)
+    distances = [d for d, _ in settled]
+    assert distances == sorted(distances)
+    full = dijkstra(net, 0)
+    assert {v: d for d, v in settled} == full
+    assert search.settle_next() is None
+    assert search.next_distance() == math.inf
+
+
+def test_resumable_expand_until_budget_and_resume():
+    rng = random.Random(5)
+    net = integer_grid(5, 5, rng, extra_edges=0)
+    search = ResumableDijkstra(net, 0)
+    first = search.expand_until(2.0)
+    assert all(d < 2.0 for d, _ in first)
+    assert search.next_distance() >= 2.0
+    more = search.expand_until(4.0)
+    assert all(2.0 <= d < 4.0 for d, _ in more)
+    # callable budgets are re-evaluated
+    budget = iter([10.0, 10.0, 0.0])
+    steps = search.expand_until(lambda: next(budget))
+    assert len(steps) <= 2
+    assert search.distance(0) == 0.0
+    far = max(dijkstra(net, 0), key=lambda v: dijkstra(net, 0)[v])
+    assert search.distance(far) == math.inf  # not settled yet

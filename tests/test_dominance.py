@@ -1,0 +1,130 @@
+"""Skyline dominance + minimal-set invariants (Definitions 4.1/4.2/5.4)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import (
+    SkylineSet,
+    dominates,
+    equivalent,
+    skyline_filter,
+)
+from repro.core.routes import SkylineRoute
+
+
+def _route(length, semantic, pois=(1,)):
+    return SkylineRoute(pois=tuple(pois), length=length, semantic=semantic)
+
+
+def test_dominates_definition():
+    assert dominates((1.0, 0.5), (2.0, 0.5))
+    assert dominates((1.0, 0.4), (1.0, 0.5))
+    assert dominates((1.0, 0.4), (2.0, 0.5))
+    assert not dominates((1.0, 0.5), (1.0, 0.5))  # equivalence ≠ dominance
+    assert not dominates((1.0, 0.6), (2.0, 0.5))  # incomparable
+    assert not dominates((2.0, 0.5), (1.0, 0.6))
+
+
+def test_equivalent():
+    assert equivalent((1.0, 0.5), (1.0, 0.5))
+    assert not equivalent((1.0, 0.5), (1.0, 0.4))
+
+
+def test_skyline_set_update_and_eviction():
+    sky = SkylineSet()
+    assert sky.update(_route(10.0, 0.0, (1,)))
+    assert sky.update(_route(5.0, 0.5, (2,)))
+    assert len(sky) == 2
+    # dominated by (5, 0.5) → rejected
+    assert not sky.update(_route(6.0, 0.5, (3,)))
+    assert not sky.update(_route(5.0, 0.6, (4,)))
+    # equivalent → rejected, first stays
+    assert not sky.update(_route(5.0, 0.5, (5,)))
+    assert sky.routes()[0].pois == (2,)
+    # dominates both → evicts both
+    assert sky.update(_route(4.0, 0.0, (6,)))
+    assert len(sky) == 1
+    assert sky.updates == 3 and sky.rejects == 3
+
+
+def test_threshold_definition_5_4():
+    sky = SkylineSet()
+    sky.update(_route(10.0, 0.0))
+    sky.update(_route(7.0, 0.2))
+    sky.update(_route(4.0, 0.6))
+    assert sky.threshold(0.0) == 10.0
+    assert sky.threshold(0.1) == 10.0
+    assert sky.threshold(0.2) == 7.0
+    assert sky.threshold(0.5) == 7.0
+    assert sky.threshold(0.6) == 4.0
+    assert sky.threshold(1.0) == 4.0
+    assert sky.perfect_route_length() == 10.0
+    assert SkylineSet().threshold(1.0) == math.inf
+
+
+def test_dominated_or_equal():
+    sky = SkylineSet()
+    sky.update(_route(5.0, 0.3))
+    assert sky.dominated_or_equal(5.0, 0.3)
+    assert sky.dominated_or_equal(6.0, 0.3)
+    assert sky.dominated_or_equal(5.0, 0.4)
+    assert not sky.dominated_or_equal(4.9, 0.3)
+    assert not sky.dominated_or_equal(5.0, 0.29)
+
+
+def test_skyline_entries_sorted():
+    sky = SkylineSet()
+    for length, semantic in [(9, 0.1), (3, 0.9), (6, 0.4)]:
+        sky.update(_route(float(length), semantic, (length,)))
+    lengths = [r.length for r in sky.routes()]
+    semantics = [r.semantic for r in sky.routes()]
+    assert lengths == sorted(lengths)
+    assert semantics == sorted(semantics, reverse=True)
+
+
+score_pairs = st.tuples(
+    st.integers(min_value=0, max_value=20).map(float),
+    st.integers(min_value=0, max_value=10).map(lambda s: s / 10.0),
+)
+
+
+@settings(deadline=None, max_examples=100)
+@given(scores=st.lists(score_pairs, min_size=0, max_size=30))
+def test_property_skyline_filter_invariants(scores):
+    routes = [
+        _route(length, semantic, (i,))
+        for i, (length, semantic) in enumerate(scores)
+    ]
+    skyline = skyline_filter(routes)
+    pairs = [r.scores() for r in skyline]
+    # 1. mutual non-domination, no equivalents
+    for i, a in enumerate(pairs):
+        for j, b in enumerate(pairs):
+            if i != j:
+                assert not dominates(a, b)
+                assert not equivalent(a, b)
+    # 2. completeness: every input dominated by or equivalent to a member
+    for route in routes:
+        assert any(
+            dominates(p, route.scores()) or equivalent(p, route.scores())
+            for p in pairs
+        )
+    # 3. idempotence
+    assert {r.scores() for r in skyline_filter(skyline)} == set(pairs)
+    # 4. order insensitivity (score-wise)
+    reversed_result = skyline_filter(list(reversed(routes)))
+    assert {r.scores() for r in reversed_result} == set(pairs)
+
+
+@settings(deadline=None, max_examples=60)
+@given(scores=st.lists(score_pairs, min_size=1, max_size=25))
+def test_property_threshold_is_min_over_feasible(scores):
+    sky = SkylineSet()
+    for i, (length, semantic) in enumerate(scores):
+        sky.update(_route(length, semantic, (i,)))
+    for probe in [s / 10.0 for s in range(11)]:
+        feasible = [r.length for r in sky if r.semantic <= probe]
+        expected = min(feasible) if feasible else math.inf
+        assert sky.threshold(probe) == expected

@@ -1,0 +1,82 @@
+"""Error hierarchy + public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AlgorithmError,
+    CategoryError,
+    DataError,
+    GraphError,
+    QueryError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (GraphError, CategoryError, QueryError, DataError, AlgorithmError):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_resolves():
+    import repro.baselines
+    import repro.datasets
+    import repro.extensions
+    import repro.graph
+    import repro.semantics
+    import repro.service
+
+    for module in (
+        repro.graph,
+        repro.semantics,
+        repro.baselines,
+        repro.datasets,
+        repro.extensions,
+        repro.service,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
+
+
+def test_experiments_lazy_registry():
+    import repro.experiments
+
+    names = repro.experiments.experiment_names()
+    assert "figure3" in names
+    with pytest.raises(AttributeError):
+        repro.experiments.not_a_thing  # noqa: B018
+
+
+def test_one_error_catch_at_service_boundary():
+    """A caller can guard the whole library with one except clause."""
+    from repro import CategoryForest, RoadNetwork, SkySREngine
+
+    forest = CategoryForest()
+    forest.add_root("Only")
+    net = RoadNetwork()
+    net.add_vertex()
+    engine = SkySREngine(net, forest)
+    caught = 0
+    for bad_call in (
+        lambda: engine.query(0, []),
+        lambda: engine.query(99, ["Only"]),
+        lambda: engine.query(0, ["Nope"]),
+        lambda: forest.add_root("Only"),
+        lambda: net.add_edge(0, 0, 1.0),
+    ):
+        try:
+            bad_call()
+        except ReproError:
+            caught += 1
+    assert caught == 5

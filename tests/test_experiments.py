@@ -1,0 +1,149 @@
+"""Experiment harness + every table/figure module (tiny configurations)."""
+
+import math
+
+import pytest
+
+from repro.core.options import BSSROptions
+from repro.experiments import registry
+from repro.experiments.harness import (
+    ExperimentConfig,
+    Report,
+    clear_dataset_cache,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    # tiny: 8x8-ish grids, one query per cell, generous budget
+    return ExperimentConfig(
+        scale=0.02, queries_per_cell=1, time_budget=30.0, seed=5,
+        max_sequence_size=3,
+    )
+
+
+def test_config_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_QUERIES", "7")
+    monkeypatch.setenv("REPRO_BUDGET", "9")
+    monkeypatch.setenv("REPRO_SEED", "3")
+    monkeypatch.setenv("REPRO_MAX_SEQ", "4")
+    config = ExperimentConfig.from_env()
+    assert config.scale == 0.5
+    assert config.queries_per_cell == 7
+    assert config.time_budget == 9.0
+    assert config.seed == 3
+    assert config.sequence_sizes() == [2, 3, 4]
+
+
+def test_dataset_cache(config):
+    clear_dataset_cache()
+    a = dataset_by_name("tokyo", config.scale)
+    b = dataset_by_name("tokyo", config.scale)
+    assert a is b
+
+
+def test_run_cell_aggregates(config):
+    dataset = dataset_by_name("tokyo", config.scale)
+    workload = workload_for(dataset, 2, config)
+    cell = run_cell(dataset, workload, "bssr", keep_scores=True)
+    assert cell.queries_run == len(workload)
+    assert cell.mean_time is not None and cell.mean_time >= 0
+    assert not cell.timed_out
+    assert len(cell.score_sets) == len(workload)
+    assert cell.sequence_size == 2
+
+
+def test_run_cell_time_budget(config):
+    dataset = dataset_by_name("tokyo", config.scale)
+    workload = workload_for(dataset, 2, config)
+    cell = run_cell(dataset, workload, "dij", time_budget=0.0)
+    assert cell.timed_out
+    assert cell.mean_time is None
+
+
+def test_run_cell_memory(config):
+    dataset = dataset_by_name("tokyo", config.scale)
+    workload = workload_for(dataset, 2, config)
+    cell = run_cell(dataset, workload, "bssr", measure_memory=True)
+    assert all(s.peak_memory_bytes > 0 for s in cell.per_query)
+
+
+def test_run_cell_options(config):
+    dataset = dataset_by_name("tokyo", config.scale)
+    workload = workload_for(dataset, 2, config)
+    plain = run_cell(dataset, workload, "bssr", keep_scores=True)
+    ablated = run_cell(
+        dataset,
+        workload,
+        "bssr",
+        options=BSSROptions.without_optimizations(),
+        keep_scores=True,
+    )
+    assert plain.score_sets == ablated.score_sets
+
+
+def test_registry_lists_all_paper_artifacts():
+    names = registry.experiment_names()
+    assert names == [
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "table1",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+    ]
+    with pytest.raises(KeyError):
+        registry.run_experiment("figure42")
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["table5", "table7", "table8", "figure4", "figure5", "figure6"],
+)
+def test_each_experiment_produces_report(name, config):
+    report = registry.run_experiment(name, config)
+    assert isinstance(report, Report)
+    assert report.experiment == name
+    assert report.table
+    assert str(report).count("\n") >= 3
+
+
+def test_figure3_report_with_budget(config):
+    from repro.experiments import figure3
+
+    report = figure3.run(config, datasets=("tokyo",))
+    assert "BSSR" in report.table
+    rows = report.data["rows"]
+    assert len(rows) == len(config.sequence_sizes())
+    for row in rows:
+        # BSSR column always finishes on tiny instances
+        assert row[2] is None or row[2] < math.inf
+
+
+def test_table6_report(config):
+    from repro.experiments import table6
+
+    report = table6.run(config, sequence_size=2, datasets=("tokyo",))
+    row = report.data["rows"][0]
+    assert row[0] == "tokyo-like"
+    # four algorithms measured, all positive MiB
+    assert all(v is None or v > 0 for v in row[1:])
+
+
+def test_scenario_experiments(config):
+    t1 = registry.run_experiment("table1", config)
+    assert "Cupcake Shop" in t1.table or t1.data["rows"]
+    t9 = registry.run_experiment("table9", config)
+    assert t9.data["rows"], "Tokyo scenario must return routes"
+    # destination query: lengths include the hotel leg and are sorted
+    lengths = [row[0] for row in t9.data["rows"]]
+    assert lengths == sorted(lengths)

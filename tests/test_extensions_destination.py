@@ -1,0 +1,81 @@
+"""Destination queries (Section 6): totals, round trips, helpers."""
+
+import math
+
+import pytest
+
+from repro.core.engine import SkySREngine
+from repro.datasets.paper_example import figure1_query
+from repro.extensions.destination import (
+    destination_distances,
+    final_leg,
+    split_length,
+)
+from repro.graph.road_network import RoadNetwork
+
+from .conftest import score_set, small_forest
+
+
+def test_destination_distances_directed():
+    net = RoadNetwork(directed=True)
+    a, b, c = (net.add_vertex() for _ in range(3))
+    net.add_edge(a, b, 1.0)
+    net.add_edge(b, c, 2.0)
+    dist = destination_distances(net, c)
+    assert dist == {c: 0.0, b: 2.0, a: 3.0}
+
+
+def test_round_trip_query(figure1):
+    """Destination == start: total includes the way back."""
+    engine = SkySREngine(figure1.network, figure1.forest)
+    start = figure1.landmarks["vq"]
+    cats = list(figure1_query())
+    one_way = engine.query(start, cats)
+    round_trip = engine.query(start, cats, destination=start)
+    assert round_trip.destination == start
+    for route in round_trip.routes:
+        chain, leg = split_length(figure1.network, route, start)
+        assert leg >= 0.0
+        assert chain + leg == pytest.approx(route.length)
+        assert leg == pytest.approx(
+            final_leg(figure1.network, route, start)
+        )
+    # every round-trip total is at least the one-way optimum
+    assert min(r.length for r in round_trip.routes) >= min(
+        r.length for r in one_way.routes
+    )
+
+
+def test_destination_parity_all_algorithms(figure1):
+    engine = SkySREngine(figure1.network, figure1.forest)
+    start = figure1.landmarks["vq"]
+    dest = figure1.landmarks["p4"]
+    cats = list(figure1_query())
+    reference = None
+    for algo in ("brute-force", "bssr", "bssr-noopt", "dij", "pne"):
+        result = engine.query(start, cats, destination=dest, algorithm=algo)
+        scores = score_set(result.routes)
+        if reference is None:
+            reference = scores
+        else:
+            assert scores == reference, algo
+
+
+def test_unreachable_destination_yields_empty():
+    forest = small_forest()
+    net = RoadNetwork(directed=True)
+    start = net.add_vertex()
+    poi = net.add_poi(forest.resolve("Ramen"))
+    stranded = net.add_vertex()
+    net.add_edge(start, poi, 1.0)
+    net.add_edge(stranded, poi, 1.0)  # stranded unreachable FROM poi
+    engine = SkySREngine(net, forest)
+    result = engine.query(start, ["Ramen"], destination=stranded)
+    assert result.routes == []
+
+
+def test_final_leg_empty_route_is_inf(figure1):
+    from repro.core.routes import SkylineRoute
+
+    empty = SkylineRoute(pois=(), length=0.0, semantic=0.0)
+    assert final_leg(figure1.network, empty, 0) == math.inf

@@ -1,0 +1,77 @@
+"""Multi-category PoIs (Section 6): max vs mean similarity rules."""
+
+import pytest
+
+from repro.core.spec import compile_query
+from repro.extensions.multicategory import (
+    MultiCategoryRequirement,
+    add_category,
+)
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import small_forest
+
+
+@pytest.fixture()
+def instance():
+    forest = small_forest()
+    net = RoadNetwork()
+    a = net.add_vertex()
+    # PoI that is both a Sushi place and an Italian place
+    dual = net.add_poi((forest.resolve("Sushi"), forest.resolve("Italian")))
+    plain = net.add_poi(forest.resolve("Bakery"))
+    cross = net.add_poi((forest.resolve("Gift"), forest.resolve("Ramen")))
+    net.add_edge(a, dual, 1.0)
+    net.add_edge(dual, plain, 1.0)
+    net.add_edge(plain, cross, 1.0)
+    index = PoIIndex(net, forest)
+    return forest, net, index, dict(dual=dual, plain=plain, cross=cross)
+
+
+def test_max_mode_is_default_semantics(instance):
+    forest, net, index, pois = instance
+    req = MultiCategoryRequirement(forest.resolve("Sushi"), mode="max")
+    spec = req.compile(index, HierarchyWuPalmer(), 0)
+    assert spec.similarity(pois["dual"]) == 1.0
+    # mirrors the default CategoryRequirement behaviour
+    compiled = compile_query(0, ["Sushi"], index, HierarchyWuPalmer())
+    assert compiled.specs[0].sim_map == spec.sim_map
+
+
+def test_mean_mode_averages_same_tree_categories(instance):
+    forest, net, index, pois = instance
+    req = MultiCategoryRequirement(forest.resolve("Sushi"), mode="mean")
+    spec = req.compile(index, HierarchyWuPalmer(), 0)
+    # dual: sims (1.0 for Sushi, 0.5 for Italian vs query d=3 → lca Food)
+    assert spec.similarity(pois["dual"]) == pytest.approx(0.75)
+    assert not spec.is_perfect(pois["dual"])
+    assert "mean" in spec.label
+
+
+def test_mean_mode_ignores_other_trees(instance):
+    forest, net, index, pois = instance
+    req = MultiCategoryRequirement(forest.resolve("Ramen"), mode="mean")
+    spec = req.compile(index, HierarchyWuPalmer(), 0)
+    # cross PoI: Gift is in another tree → only the Ramen association counts
+    assert spec.similarity(pois["cross"]) == 1.0
+
+
+def test_invalid_mode_rejected(instance):
+    forest, net, index, _ = instance
+    req = MultiCategoryRequirement(forest.resolve("Sushi"), mode="median")
+    with pytest.raises(ValueError):
+        req.compile(index, HierarchyWuPalmer(), 0)
+
+
+def test_add_category_helper(instance):
+    forest, net, index, pois = instance
+    add_category(net, pois["plain"], forest.resolve("Gift"))
+    assert net.poi_categories(pois["plain"]) == (
+        forest.resolve("Bakery"),
+        forest.resolve("Gift"),
+    )
+    # index snapshots are stale until rebuilt
+    fresh = PoIIndex(net, forest)
+    assert pois["plain"] in fresh.pois_in_tree("Shop")

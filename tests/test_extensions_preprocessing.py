@@ -1,0 +1,101 @@
+"""The preprocessing index (the paper's future-work feature)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import compute_lower_bounds
+from repro.core.dominance import SkylineSet
+from repro.core.engine import SkySREngine
+from repro.core.spec import compile_query
+from repro.extensions.preprocessing import TreePairDistanceIndex
+from repro.graph.dijkstra import multi_source_min_distance
+from repro.graph.poi import PoIIndex
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import pick_query, random_instance, score_set
+
+
+def test_pair_distances_match_direct_multisource():
+    network, forest, rng = random_instance(3, num_pois=12)
+    index = PoIIndex(network, forest)
+    tree_index = TreePairDistanceIndex(network, index)
+    trees = index.trees_present()
+    for i, a in enumerate(trees):
+        for b in trees[i + 1:]:
+            expected = multi_source_min_distance(
+                network, index.pois_in_tree(a), index.pois_in_tree(b)
+            )
+            assert tree_index.min_distance(a, b) == expected
+            assert tree_index.min_distance(b, a) == expected
+    for tree in trees:
+        assert tree_index.min_distance(tree, tree) == 0.0
+    assert tree_index.build_time >= 0.0
+
+
+def test_unknown_pair_is_inf():
+    network, forest, rng = random_instance(0, num_pois=4)
+    index = PoIIndex(network, forest)
+    tree_index = TreePairDistanceIndex(network, index)
+    assert tree_index.min_distance(9999, 12345) == math.inf
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 50_000))
+def test_property_indexed_bounds_lower_bound_online_bounds(seed):
+    """The index drops Algorithm 4's ball restriction, so its legs are
+    never larger than the online ones — weaker but always safe."""
+    network, forest, rng = random_instance(seed, num_pois=10)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        return
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    tree_index = TreePairDistanceIndex(network, index)
+    indexed = tree_index.bounds_for(compiled)
+    online = compute_lower_bounds(network, compiled, SkylineSet())
+    for k in range(len(indexed.suffix_ls)):
+        assert indexed.suffix_ls[k] <= online.suffix_ls[k] + 1e-9
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 50_000))
+def test_property_preprocessing_preserves_results(seed):
+    network, forest, rng = random_instance(seed, num_pois=10)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        return
+    start, cats = query
+    plain = SkySREngine(network, forest)
+    indexed = SkySREngine(network, forest, preprocessing=True)
+    a = plain.query(start, cats)
+    b = indexed.query(start, cats)
+    assert score_set(a.routes) == score_set(b.routes)
+    assert b.stats.extra.get("preprocessed_bounds")
+    assert "preprocessed_bounds" not in a.stats.extra
+
+
+def test_preprocessing_skipped_for_destination_queries(figure1):
+    from repro.datasets.paper_example import figure1_query
+
+    engine = SkySREngine(figure1.network, figure1.forest, preprocessing=True)
+    start = figure1.landmarks["vq"]
+    with_dest = engine.query(
+        start, list(figure1_query()), destination=start
+    )
+    assert "preprocessed_bounds" not in with_dest.stats.extra
+    reference = engine.query(
+        start, list(figure1_query()), destination=start, algorithm="brute-force"
+    )
+    assert score_set(with_dest.routes) == score_set(reference.routes)
+
+
+def test_index_reused_across_queries(figure1):
+    engine = SkySREngine(figure1.network, figure1.forest, preprocessing=True)
+    first = engine.tree_index
+    assert engine.tree_index is first
+    engine.refresh_index()
+    assert engine.tree_index is not first

@@ -1,0 +1,92 @@
+"""Unordered skyline trip planning (Section 6) vs permutation oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import compile_query
+from repro.extensions.unordered import (
+    brute_force_unordered,
+    run_unordered_skysr,
+)
+from repro.graph.poi import PoIIndex
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import pick_query, random_instance, score_set
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 50_000))
+def test_property_unordered_matches_permutation_oracle(seed):
+    network, forest, rng = random_instance(seed, num_pois=9)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        return
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    expected = brute_force_unordered(network, compiled)
+    actual, stats = run_unordered_skysr(network, compiled)
+    assert score_set(actual) == score_set(expected), f"seed={seed}"
+    assert stats.algorithm == "unordered-bssr"
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 50_000))
+def test_property_unordered_never_longer_than_ordered(seed):
+    """Relaxing the order can only improve the best achievable length."""
+    from repro.baselines.brute_force import brute_force_skysr
+
+    network, forest, rng = random_instance(seed, num_pois=9)
+    query = pick_query(network, forest, rng, 3)
+    if query is None:
+        return
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    ordered = brute_force_skysr(network, compiled)
+    unordered, _ = run_unordered_skysr(network, compiled)
+    if not ordered:
+        return
+    assert unordered
+    assert min(r.length for r in unordered) <= min(r.length for r in ordered)
+
+
+def test_unordered_empty_position():
+    network, forest, rng = random_instance(2, num_pois=4)
+    index = PoIIndex(network, forest)
+    compiled = compile_query(0, ["Jazz", "Ramen"], index, HierarchyWuPalmer())
+    if all(s.sim_map for s in compiled.specs):
+        pytest.skip("instance unexpectedly has Jazz PoIs")
+    routes, _ = run_unordered_skysr(network, compiled)
+    assert routes == []
+
+
+def test_unordered_without_greedy_seed_still_exact():
+    for seed in (1, 4, 9):
+        network, forest, rng = random_instance(seed, num_pois=8)
+        query = pick_query(network, forest, rng, 2)
+        if query is None:
+            continue
+        start, cats = query
+        index = PoIIndex(network, forest)
+        compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+        seeded, _ = run_unordered_skysr(network, compiled)
+        unseeded, _ = run_unordered_skysr(
+            network, compiled, seed_with_greedy=False
+        )
+        assert score_set(seeded) == score_set(unseeded)
+
+
+def test_unordered_routes_use_distinct_pois():
+    for seed in range(6):
+        network, forest, rng = random_instance(seed, num_pois=10)
+        query = pick_query(network, forest, rng, 3, distinct_trees=False)
+        if query is None:
+            continue
+        start, cats = query
+        index = PoIIndex(network, forest)
+        compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+        routes, _ = run_unordered_skysr(network, compiled)
+        for route in routes:
+            assert len(set(route.pois)) == len(route.pois)

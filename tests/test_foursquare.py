@@ -1,0 +1,59 @@
+"""The embedded Foursquare-style taxonomy."""
+
+from repro.semantics.foursquare import (
+    build_foursquare_forest,
+    root_names,
+    taxonomy_size,
+)
+
+
+def test_ten_trees():
+    forest = build_foursquare_forest()
+    assert len(forest.roots) == 10  # Foursquare's 10 top-level trees
+    assert len(root_names()) == 10
+    assert len(forest) == taxonomy_size()
+    forest.validate()
+
+
+def test_paper_categories_present():
+    """Every category the paper names must exist with the right shape."""
+    forest = build_foursquare_forest()
+    # Figure 2
+    for name in (
+        "Asian Restaurant",
+        "Italian Restaurant",
+        "Bakery",
+        "Gift Shop",
+        "Hobby Shop",
+        "Clothing Store",
+        "Men's Store",
+        "Sushi Restaurant",
+    ):
+        assert name in forest
+    assert forest.parent_of("Men's Store") == forest.resolve("Clothing Store")
+    assert forest.parent_of("Sushi Restaurant") == forest.resolve(
+        "Japanese Restaurant"
+    )
+    # Table 1 (NYC example)
+    assert forest.parent_of("Cupcake Shop") == forest.resolve("Dessert Shop")
+    assert forest.parent_of("Art Museum") == forest.resolve("Museum")
+    assert forest.parent_of("Jazz Club") == forest.resolve("Music Venue")
+    # Table 9 (Tokyo use case): Bar subsumes Beer Garden and Sake Bar
+    assert forest.parent_of("Beer Garden") == forest.resolve("Bar")
+    assert forest.parent_of("Sake Bar") == forest.resolve("Bar")
+
+
+def test_tree_structure_depth():
+    forest = build_foursquare_forest()
+    assert forest.max_depth() == 3
+    food = forest.resolve("Food")
+    assert forest.depth(food) == 1
+    assert forest.depth("Asian Restaurant") == 2
+    assert forest.depth("Chinese Restaurant") == 3
+    assert forest.tree_id("Sushi Restaurant") == food
+
+
+def test_trees_are_disjoint():
+    forest = build_foursquare_forest()
+    assert forest.lca("Sushi Restaurant", "Gift Shop") is None
+    assert forest.lca("Bar", "Jazz Club") is None  # Nightlife vs A&E

@@ -1,0 +1,112 @@
+"""Round-trip tests for dataset persistence and the networkx bridge."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import DataError
+from repro.graph.io import (
+    from_networkx,
+    load_dataset,
+    network_from_dict,
+    network_to_dict,
+    read_edge_list,
+    save_dataset,
+    to_networkx,
+    write_edge_list,
+)
+from repro.graph.road_network import RoadNetwork
+
+from .conftest import integer_grid, small_forest
+
+
+def _sample_network(directed=False):
+    rng = random.Random(11)
+    net = integer_grid(3, 3, rng, directed=directed, extra_edges=2)
+    forest = small_forest()
+    poi = net.add_poi((forest.resolve("Ramen"), forest.resolve("Gift")), 0.5, 0.5)
+    net.add_edge(0, poi, 1.0)
+    if directed:
+        net.add_edge(poi, 0, 1.0)
+    return net, forest
+
+
+@pytest.mark.parametrize("directed", [False, True])
+def test_network_dict_roundtrip(directed):
+    net, _ = _sample_network(directed)
+    clone = network_from_dict(network_to_dict(net))
+    assert clone.directed == net.directed
+    assert clone.num_vertices == net.num_vertices
+    assert sorted(clone.edges()) == sorted(net.edges())
+    for vid in net.vertices():
+        assert clone.coords(vid) == net.coords(vid)
+        assert clone.poi_categories(vid) == net.poi_categories(vid)
+
+
+def test_network_from_dict_rejects_sparse_ids():
+    with pytest.raises(DataError):
+        network_from_dict({"directed": False, "vertices": [{"id": 1}], "edges": []})
+
+
+def test_dataset_roundtrip(tmp_path):
+    net, forest = _sample_network()
+    path = tmp_path / "data.json"
+    save_dataset(path, net, forest)
+    net2, forest2 = load_dataset(path)
+    assert net2.num_vertices == net.num_vertices
+    assert forest2.names() == forest.names()
+
+
+def test_load_dataset_errors(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(DataError):
+        load_dataset(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(DataError):
+        load_dataset(bad)
+    not_json = tmp_path / "garbage.json"
+    not_json.write_text("{{{")
+    with pytest.raises(DataError):
+        load_dataset(not_json)
+
+
+def test_edge_list_roundtrip(tmp_path):
+    net, _ = _sample_network()
+    path = tmp_path / "edges.tsv"
+    write_edge_list(path, net)
+    clone = read_edge_list(path)
+    assert sorted(clone.edges()) == sorted(net.edges())
+
+
+def test_edge_list_parsing(tmp_path):
+    path = tmp_path / "edges.tsv"
+    path.write_text("# comment\n0 1 2.5\n\n1 2 1.0\n")
+    net = read_edge_list(path)
+    assert net.num_vertices == 3 and net.num_edges == 2
+    bad = tmp_path / "bad.tsv"
+    bad.write_text("0 1\n")
+    with pytest.raises(DataError):
+        read_edge_list(bad)
+
+
+def test_networkx_roundtrip():
+    net, _ = _sample_network()
+    graph = to_networkx(net)
+    assert isinstance(graph, nx.Graph)
+    assert graph.number_of_nodes() == net.num_vertices
+    clone = from_networkx(graph)
+    assert clone.num_vertices == net.num_vertices
+    # parallel edges collapse to min weight in the bridge
+    ours = {(u, v): w for u, v, w in clone.edges()}
+    for (u, v), w in ours.items():
+        assert graph[u][v]["weight"] == w
+
+
+def test_networkx_directed():
+    net, _ = _sample_network(directed=True)
+    graph = to_networkx(net)
+    assert isinstance(graph, nx.DiGraph)
+    clone = from_networkx(graph)
+    assert clone.directed

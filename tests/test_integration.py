@@ -1,0 +1,121 @@
+"""End-to-end integration: presets × algorithms × persistence."""
+
+import pytest
+
+from repro import (
+    BSSROptions,
+    RoadNetwork,
+    SkySREngine,
+    build_foursquare_forest,
+)
+from repro.datasets.presets import nyc_like, tokyo_like
+from repro.datasets.workloads import generate_workload
+from repro.graph.io import load_dataset, save_dataset
+
+from .conftest import score_set
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return tokyo_like(0.08)
+
+
+def test_preset_pipeline_all_algorithms_agree(tokyo):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    workload = generate_workload(tokyo, 2, 3, seed=42)
+    for query in workload:
+        reference = None
+        for algo in ("bssr", "bssr-noopt", "dij", "pne"):
+            result = engine.query(
+                query.start, list(query.categories), algorithm=algo
+            )
+            scores = score_set(result.routes)
+            if reference is None:
+                reference = scores
+            else:
+                assert scores == reference, (algo, query)
+        assert reference  # at least one skyline route per workload query
+
+
+def test_skyline_routes_respect_dominance(tokyo):
+    from repro.core.dominance import dominates, equivalent
+
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    workload = generate_workload(tokyo, 3, 3, seed=7)
+    for query in workload:
+        result = engine.query(query.start, list(query.categories))
+        pairs = [r.scores() for r in result.routes]
+        for i, a in enumerate(pairs):
+            for j, b in enumerate(pairs):
+                if i != j:
+                    assert not dominates(a, b)
+                    assert not equivalent(a, b)
+
+
+def test_save_load_query_roundtrip(tokyo, tmp_path):
+    path = tmp_path / "tokyo.json"
+    save_dataset(path, tokyo.network, tokyo.forest)
+    network, forest = load_dataset(path)
+    engine_a = SkySREngine(tokyo.network, tokyo.forest)
+    engine_b = SkySREngine(network, forest)
+    workload = generate_workload(tokyo, 2, 2, seed=3)
+    for query in workload:
+        a = engine_a.query(query.start, list(query.categories))
+        b = engine_b.query(
+            query.start,
+            [tokyo.forest.name_of(c) for c in query.categories],
+        )
+        assert score_set(a.routes) == score_set(b.routes)
+
+
+def test_directed_preset_variant():
+    """A directed copy of a small city still satisfies skyline parity."""
+    base = nyc_like(0.05)
+    directed = RoadNetwork(directed=True)
+    for vid in base.network.vertices():
+        coords = base.network.coords(vid)
+        directed.add_vertex(*(coords or (None, None)))
+        cats = base.network.poi_categories(vid)
+        if cats:
+            directed.set_poi(vid, cats)
+    for u, v, w in base.network.edges():
+        directed.add_edge(u, v, w)
+        directed.add_edge(v, u, w)
+    engine_u = SkySREngine(base.network, base.forest)
+    engine_d = SkySREngine(directed, base.forest)
+    workload = generate_workload(base, 2, 2, seed=11)
+    for query in workload:
+        a = engine_u.query(query.start, list(query.categories))
+        b = engine_d.query(query.start, list(query.categories))
+        assert score_set(a.routes) == score_set(b.routes)
+
+
+def test_custom_city_from_scratch():
+    """The README quickstart flow: build a city, ask for a route."""
+    forest = build_foursquare_forest()
+    net = RoadNetwork()
+    v = [net.add_vertex(float(i), 0.0) for i in range(5)]
+    for a, b in zip(v, v[1:]):
+        net.add_edge(a, b, 1.0)
+    bakery = net.add_poi(forest.resolve("Bakery"), 1.0, 0.5)
+    museum = net.add_poi(forest.resolve("Art Museum"), 3.0, 0.5)
+    net.add_edge(v[1], bakery, 0.5)
+    net.add_edge(v[3], museum, 0.5)
+    engine = SkySREngine(net, forest)
+    result = engine.query(v[0], ["Bakery", "Art Museum"])
+    assert len(result) == 1
+    assert result.routes[0].pois == (bakery, museum)
+    assert result.routes[0].semantic == 0.0
+    assert result.routes[0].length == pytest.approx(1.5 + 0.5 + 2 + 0.5)
+
+
+def test_options_flow_through_engine_constructor(tokyo):
+    engine = SkySREngine(
+        tokyo.network,
+        tokyo.forest,
+        options=BSSROptions.without_optimizations(),
+    )
+    workload = generate_workload(tokyo, 2, 1, seed=9)
+    result = engine.query(workload[0].start, list(workload[0].categories))
+    assert result.stats.cache_hits == 0
+    assert result.stats.init_routes == 0

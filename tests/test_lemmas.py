@@ -1,0 +1,143 @@
+"""Direct property tests of the paper's lemmas.
+
+The BSSR parity suite already checks end-to-end exactness; these tests
+pin the individual mathematical claims the pruning rules rest on, so a
+regression points at the broken lemma rather than at "skylines differ".
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import enumerate_sequenced_routes
+from repro.core.dominance import SkylineSet, dominates
+from repro.core.routes import SkylineRoute
+from repro.core.spec import compile_query
+from repro.graph.dijkstra import dijkstra
+from repro.graph.poi import PoIIndex
+from repro.semantics.scoring import ProductAggregator
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import pick_query, random_instance
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 10_000))
+def test_lemma_5_2_super_route_scores_monotone(seed):
+    """Extending a route never decreases either score."""
+    network, forest, rng = random_instance(seed, num_pois=10)
+    query = pick_query(network, forest, rng, 3, distinct_trees=False)
+    if query is None:
+        return
+    start, cats = query
+    index = PoIIndex(network, forest)
+    compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+    agg = ProductAggregator()
+    dist_from_start = dijkstra(network, start)
+    for _ in range(20):
+        # grow a random route position by position, checking prefixes
+        length, state = 0.0, agg.initial(3)
+        previous_l, previous_s, last = 0.0, 0.0, None
+        for position in range(3):
+            spec = compiled.specs[position]
+            candidates = list(spec.sim_map)
+            if not candidates:
+                break
+            vid = candidates[rng.randrange(len(candidates))]
+            source = dist_from_start if last is None else dijkstra(network, last)
+            d = source.get(vid, math.inf)
+            if d == math.inf:
+                break
+            length += d
+            state = agg.extend(state, spec.sim_map[vid])
+            assert length >= previous_l - 1e-12
+            assert agg.score(state) >= previous_s - 1e-12
+            previous_l, previous_s, last = length, agg.score(state), vid
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    scores=st.lists(
+        st.tuples(
+            st.integers(0, 30).map(float),
+            st.integers(0, 10).map(lambda x: x / 10),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    probes=st.lists(st.integers(0, 10).map(lambda x: x / 10), min_size=2, max_size=5),
+)
+def test_definition_5_4_threshold_monotone_nonincreasing(scores, probes):
+    """l̄ is nonincreasing in the semantic probe — the property both the
+    break condition of Algorithm 2 and Lemma 5.8 rely on."""
+    sky = SkylineSet()
+    for i, (length, semantic) in enumerate(scores):
+        sky.update(SkylineRoute(pois=(i,), length=length, semantic=semantic))
+    ordered = sorted(probes)
+    thresholds = [sky.threshold(p) for p in ordered]
+    assert all(a >= b for a, b in zip(thresholds, thresholds[1:]))
+
+
+@settings(deadline=None, max_examples=80)
+@given(
+    a=st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    b=st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    c=st.tuples(st.integers(0, 9), st.integers(0, 9)),
+)
+def test_dominance_is_a_strict_partial_order(a, b, c):
+    fa, fb, fc = (
+        (float(x), float(y)) for x, y in (a, b, c)
+    )
+    assert not dominates(fa, fa)  # irreflexive
+    if dominates(fa, fb):
+        assert not dominates(fb, fa)  # asymmetric
+    if dominates(fa, fb) and dominates(fb, fc):
+        assert dominates(fa, fc)  # transitive
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 10_000))
+def test_lemma_5_1_skyline_updates_never_resurrect(seed):
+    """Routes dominated by the evolving set S never re-enter later."""
+    rng = random.Random(seed)
+    sky = SkylineSet()
+    rejected: list[tuple[float, float]] = []
+    for i in range(60):
+        length = float(rng.randint(0, 40))
+        semantic = rng.randint(0, 10) / 10
+        route = SkylineRoute(pois=(i,), length=length, semantic=semantic)
+        before = sky.dominated_or_equal(length, semantic)
+        accepted = sky.update(route)
+        if before:
+            assert not accepted
+            rejected.append((length, semantic))
+        # every previously rejected score stays dominated-or-equal
+        for length_r, semantic_r in rejected:
+            assert sky.dominated_or_equal(length_r, semantic_r)
+
+
+def test_lemma_5_5_suppressed_routes_are_dominated():
+    """Whenever the modified Dijkstra suppresses a candidate, some other
+    sequenced route dominates (or ties) every completion through it —
+    checked against full enumeration on small instances."""
+    from repro.core.bssr import run_bssr
+
+    for seed in range(8):
+        network, forest, rng = random_instance(seed, num_pois=9)
+        query = pick_query(network, forest, rng, 2)
+        if query is None:
+            continue
+        start, cats = query
+        index = PoIIndex(network, forest)
+        compiled = compile_query(start, cats, index, HierarchyWuPalmer())
+        every = enumerate_sequenced_routes(network, compiled)
+        skyline, _ = run_bssr(network, compiled)
+        skyline_scores = [(r.length, r.semantic) for r in skyline]
+        for route in every:
+            assert any(
+                dominates(s, route.scores()) or s == route.scores()
+                for s in skyline_scores
+            )

@@ -1,0 +1,143 @@
+"""NNinit (Algorithm 3): seeding behaviour and edge cases."""
+
+import math
+
+import pytest
+
+from repro.core.dominance import SkylineSet
+from repro.core.nninit import nninit
+from repro.core.spec import compile_query
+from repro.core.stats import SearchStats
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.scoring import ProductAggregator
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import small_forest
+
+
+def _compile(net, forest, start, cats, destination=None):
+    index = PoIIndex(net, forest)
+    return compile_query(
+        start, cats, index, HierarchyWuPalmer(), destination=destination
+    )
+
+
+def test_nninit_finds_perfect_chain_and_semantic_seeds():
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    ramen = net.add_poi(forest.resolve("Ramen"))
+    hobby = net.add_poi(forest.resolve("Hobby"))  # semantic for Gift
+    gift = net.add_poi(forest.resolve("Gift"))
+    net.add_edge(start, ramen, 2.0)
+    net.add_edge(ramen, hobby, 1.0)
+    net.add_edge(hobby, gift, 1.0)
+    query = _compile(net, forest, start, ["Ramen", "Gift"])
+    skyline = SkylineSet()
+    stats = SearchStats()
+    offered = nninit(net, query, ProductAggregator(), skyline, stats)
+    # last leg passes hobby (sim 2/3) before gift (perfect)
+    assert {r.pois for r in offered} == {(ramen, hobby), (ramen, gift)}
+    perfect = [r for r in offered if r.semantic == 0.0][0]
+    assert perfect.length == 4.0
+    semantic = [r for r in offered if r.semantic > 0.0][0]
+    assert semantic.length == 3.0
+    assert semantic.semantic == pytest.approx(1 / 3)
+    assert stats.init_routes == 2
+    assert stats.init_length_ratio == pytest.approx(3.0 / 4.0)
+    assert skyline.perfect_route_length() == 4.0
+
+
+def test_nninit_greedy_is_not_necessarily_optimal():
+    """NNinit is a heuristic: the greedy chain may be longer than the
+    optimal perfect route; the skyline it seeds is still valid."""
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    near_ramen = net.add_poi(forest.resolve("Ramen"))
+    far_ramen = net.add_poi(forest.resolve("Ramen"))
+    gift = net.add_poi(forest.resolve("Gift"))
+    net.add_edge(start, near_ramen, 1.0)   # greedy grabs this one
+    net.add_edge(start, far_ramen, 2.0)
+    net.add_edge(far_ramen, gift, 1.0)
+    net.add_edge(near_ramen, gift, 9.0)
+    query = _compile(net, forest, start, ["Ramen", "Gift"])
+    skyline = SkylineSet()
+    nninit(net, query, ProductAggregator(), skyline, SearchStats())
+    # greedy: near_ramen (1) then gift via start→far_ramen (4) = 5;
+    # the optimal perfect route is far_ramen→gift = 3
+    assert skyline.perfect_route_length() == 5.0
+
+
+def test_nninit_skips_used_pois():
+    """Same-tree consecutive positions must not reuse a PoI."""
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    r1 = net.add_poi(forest.resolve("Ramen"))
+    r2 = net.add_poi(forest.resolve("Ramen"))
+    net.add_edge(start, r1, 1.0)
+    net.add_edge(r1, r2, 1.0)
+    query = _compile(net, forest, start, ["Ramen", "Ramen"])
+    skyline = SkylineSet()
+    offered = nninit(net, query, ProductAggregator(), skyline, SearchStats())
+    assert any(r.pois == (r1, r2) for r in offered)
+    for route in offered:
+        assert len(set(route.pois)) == 2
+
+
+def test_nninit_handles_missing_perfect_match():
+    """No perfect match reachable → fewer (or no) seeds, no crash."""
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    italian = net.add_poi(forest.resolve("Italian"))
+    gift = net.add_poi(forest.resolve("Gift"))
+    net.add_edge(start, italian, 1.0)
+    net.add_edge(italian, gift, 1.0)
+    # first position "Ramen" has no perfect PoI → chain stops, no routes
+    query = _compile(net, forest, start, ["Ramen", "Gift"])
+    skyline = SkylineSet()
+    stats = SearchStats()
+    offered = nninit(net, query, ProductAggregator(), skyline, stats)
+    assert offered == []
+    assert stats.init_length_ratio is None
+    assert skyline.perfect_route_length() == math.inf
+
+
+def test_nninit_last_leg_without_perfect_still_seeds_semantics():
+    """Perfect match missing only at the LAST position: semantic routes
+    are still seeded while the search drains."""
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    ramen = net.add_poi(forest.resolve("Ramen"))
+    hobby = net.add_poi(forest.resolve("Hobby"))
+    net.add_edge(start, ramen, 1.0)
+    net.add_edge(ramen, hobby, 1.0)
+    query = _compile(net, forest, start, ["Ramen", "Gift"])
+    skyline = SkylineSet()
+    offered = nninit(net, query, ProductAggregator(), skyline, SearchStats())
+    assert {r.pois for r in offered} == {(ramen, hobby)}
+    assert skyline.perfect_route_length() == math.inf
+
+
+def test_nninit_with_destination_adds_final_leg():
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    dest = net.add_vertex()
+    ramen = net.add_poi(forest.resolve("Ramen"))
+    net.add_edge(start, ramen, 1.0)
+    net.add_edge(ramen, dest, 3.0)
+    query = _compile(net, forest, start, ["Ramen"], destination=dest)
+    from repro.graph.dijkstra import dijkstra
+
+    dest_dist = dijkstra(net, dest, reverse=True)
+    skyline = SkylineSet()
+    offered = nninit(
+        net, query, ProductAggregator(), skyline, SearchStats(),
+        dest_dist=dest_dist,
+    )
+    assert offered[0].length == 4.0  # 1 to the PoI + 3 to the hotel

@@ -1,0 +1,102 @@
+"""Unit tests for the PoI index (P_c closure and P_t tree sets)."""
+
+import random
+
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+
+from .conftest import small_forest
+
+
+def _instance():
+    forest = small_forest()
+    net = RoadNetwork()
+    road = [net.add_vertex() for _ in range(4)]
+    ramen = net.add_poi(forest.resolve("Ramen"))
+    sushi = net.add_poi(forest.resolve("Sushi"))
+    italian = net.add_poi(forest.resolve("Italian"))
+    gift = net.add_poi(forest.resolve("Gift"))
+    multi = net.add_poi((forest.resolve("Bakery"), forest.resolve("Gift")))
+    for i, p in enumerate((ramen, sushi, italian, gift, multi)):
+        net.add_edge(road[i % 4], p, 1.0)
+    return forest, net, dict(
+        ramen=ramen, sushi=sushi, italian=italian, gift=gift, multi=multi
+    )
+
+
+def test_exact_and_tree_buckets():
+    forest, net, pois = _instance()
+    index = PoIIndex(net, forest)
+    assert index.pois_with_exact_category("Ramen") == [pois["ramen"]]
+    assert set(index.pois_in_tree("Food")) == {
+        pois["ramen"], pois["sushi"], pois["italian"], pois["multi"]
+    }
+    assert set(index.pois_in_tree("Shop")) == {pois["gift"], pois["multi"]}
+    assert index.pois_in_tree("Fun") == []
+    # querying by any category of the tree gives the same bucket
+    assert index.pois_in_tree("Sushi") == index.pois_in_tree("Food")
+
+
+def test_closure_sets():
+    forest, net, pois = _instance()
+    index = PoIIndex(net, forest)
+    # P_Asian = PoIs whose category is in Asian's subtree
+    assert set(index.pois_in_closure("Asian")) == {pois["ramen"], pois["sushi"]}
+    assert set(index.pois_in_closure("Food")) == {
+        pois["ramen"], pois["sushi"], pois["italian"], pois["multi"]
+    }
+    assert index.pois_in_closure("Ramen") == [pois["ramen"]]
+    assert index.pois_in_closure("Clothes") == []
+
+
+def test_membership_tests_multi_category():
+    forest, net, pois = _instance()
+    index = PoIIndex(net, forest)
+    multi = pois["multi"]
+    assert index.matches_tree("Food", multi)
+    assert index.matches_tree("Shop", multi)
+    assert not index.matches_tree("Fun", multi)
+    assert index.matches_closure("Bakery", multi)
+    assert index.matches_closure("Gift", multi)
+    assert not index.matches_closure("Asian", multi)
+
+
+def test_counts_and_populated_leaves():
+    forest, net, pois = _instance()
+    index = PoIIndex(net, forest)
+    counts = index.category_counts()
+    assert counts[forest.resolve("Gift")] == 2  # gift + multi
+    assert counts[forest.resolve("Ramen")] == 1
+    populated = index.populated_leaves(min_count=1)
+    assert forest.resolve("Gift") in populated
+    assert forest.resolve("Jazz") not in populated
+    assert index.populated_leaves(min_count=2) == [forest.resolve("Gift")]
+    assert set(index.trees_present()) == {
+        forest.tree_id(forest.resolve("Food")),
+        forest.tree_id(forest.resolve("Gift")),
+    }
+
+
+def test_index_is_snapshot():
+    forest, net, _ = _instance()
+    index = PoIIndex(net, forest)
+    before = len(index.pois_in_tree("Food"))
+    extra = net.add_poi(forest.resolve("Ramen"))
+    net.add_edge(0, extra, 1.0)
+    assert len(index.pois_in_tree("Food")) == before  # stale by design
+    fresh = PoIIndex(net, forest)
+    assert len(fresh.pois_in_tree("Food")) == before + 1
+
+
+def test_random_instance_consistency(rng: random.Random):
+    from .conftest import random_instance
+
+    net, forest, _ = random_instance(7, num_pois=15)
+    index = PoIIndex(net, forest)
+    for vid in net.poi_vertices():
+        cats = net.poi_categories(vid)
+        for cid in cats:
+            assert vid in index.pois_with_exact_category(cid)
+            assert vid in index.pois_in_tree(cid)
+            for anc in forest.ancestors(cid):
+                assert index.matches_closure(anc, vid)

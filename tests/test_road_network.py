@@ -1,0 +1,107 @@
+"""Unit tests for the road-network substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.road_network import RoadNetwork
+
+
+def test_vertices_and_edges_undirected():
+    net = RoadNetwork()
+    a, b, c = net.add_vertex(0, 0), net.add_vertex(1, 0), net.add_vertex(2, 0)
+    net.add_edge(a, b, 1.5)
+    net.add_edge(b, c, 2.5)
+    assert net.num_vertices == 3
+    assert net.num_edges == 2
+    assert net.degree(b) == 2
+    assert net.has_edge(a, b) and net.has_edge(b, a)
+    assert net.edge_weight(b, c) == 2.5
+    assert sorted(net.edges()) == [(a, b, 1.5), (b, c, 2.5)]
+    assert net.total_edge_weight() == 4.0
+    assert net.neighbors(b) == [(a, 1.5), (c, 2.5)]
+    assert net.in_neighbors(b) == net.neighbors(b)
+
+
+def test_directed_edges_and_reverse_adjacency():
+    net = RoadNetwork(directed=True)
+    a, b = net.add_vertex(), net.add_vertex()
+    net.add_edge(a, b, 3.0)
+    assert net.has_edge(a, b)
+    assert not net.has_edge(b, a)
+    assert net.neighbors(b) == []
+    assert net.in_neighbors(b) == [(a, 3.0)]
+    assert list(net.edges()) == [(a, b, 3.0)]
+
+
+def test_edge_validation():
+    net = RoadNetwork()
+    a, b = net.add_vertex(), net.add_vertex()
+    with pytest.raises(GraphError):
+        net.add_edge(a, a, 1.0)  # self loop
+    with pytest.raises(GraphError):
+        net.add_edge(a, b, -0.5)  # negative weight
+    with pytest.raises(GraphError):
+        net.add_edge(a, 99, 1.0)  # unknown vertex
+    with pytest.raises(GraphError):
+        net.edge_weight(a, b)  # no edge yet
+
+
+def test_poi_management():
+    net = RoadNetwork()
+    a = net.add_vertex()
+    p = net.add_poi(7, 1.0, 2.0)
+    net.add_edge(a, p, 1.0)
+    assert net.is_poi(p) and not net.is_poi(a)
+    assert net.poi_categories(p) == (7,)
+    assert net.poi_categories(a) == ()
+    assert net.poi_vertices() == [p]
+    assert net.num_pois == 1 and net.num_road_vertices == 1
+    net.set_poi(p, (7, 9, 7))  # duplicates collapse, order kept
+    assert net.poi_categories(p) == (7, 9)
+    net.clear_poi(p)
+    assert not net.is_poi(p)
+    with pytest.raises(GraphError):
+        net.set_poi(a, ())
+
+
+def test_coords():
+    net = RoadNetwork()
+    a = net.add_vertex(1.0, 2.0)
+    b = net.add_vertex()
+    assert net.coords(a) == (1.0, 2.0)
+    assert net.coords(b) is None
+    assert not net.has_coords()
+    net.set_coords(b, 3.0, 4.0)
+    assert net.coords(b) == (3.0, 4.0)
+    assert net.has_coords()
+
+
+def test_connectivity_helpers():
+    net = RoadNetwork()
+    a, b, c = (net.add_vertex() for _ in range(3))
+    net.add_edge(a, b, 1.0)
+    assert net.connected_component(a) == {a, b}
+    assert not net.is_connected()
+    net.add_edge(b, c, 1.0)
+    assert net.is_connected()
+
+
+def test_connectivity_directed_is_weak():
+    net = RoadNetwork(directed=True)
+    a, b = net.add_vertex(), net.add_vertex()
+    net.add_edge(a, b, 1.0)
+    assert net.is_connected()  # weak connectivity
+
+
+def test_summary():
+    net = RoadNetwork()
+    a = net.add_vertex()
+    p = net.add_poi(3)
+    net.add_edge(a, p, 2.0)
+    card = net.summary()
+    assert card == {"|V|": 1, "|P|": 1, "|E|": 1, "directed": False}
+    assert "RoadNetwork" in repr(net)
+
+
+def test_empty_network_is_connected():
+    assert RoadNetwork().is_connected()

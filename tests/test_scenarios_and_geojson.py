@@ -1,0 +1,69 @@
+"""Scenario helpers + GeoJSON/rendering edge cases."""
+
+import pytest
+
+from repro.datasets.presets import nyc_like
+from repro.experiments.scenarios import (
+    ensure_category_pois,
+    scenario_engine,
+    scenario_start,
+)
+from repro.service.geojson import route_feature, routes_to_geojson
+from repro.service.rendering import render_network
+
+
+@pytest.fixture(scope="module")
+def city():
+    return nyc_like(0.06, seed=123)
+
+
+def test_ensure_category_pois_tops_up(city):
+    names = ["Cupcake Shop", "Jazz Club"]
+    ensure_category_pois(city, names, per_category=2, seed=1)
+    counts = city.index.category_counts()
+    for name in names:
+        assert counts.get(city.forest.resolve(name), 0) >= 2
+    # idempotent: a second call adds nothing
+    before = city.network.num_pois
+    ensure_category_pois(city, names, per_category=2, seed=2)
+    assert city.network.num_pois == before
+
+
+def test_scenario_start_is_road_vertex_and_deterministic(city):
+    a = scenario_start(city, seed=9)
+    b = scenario_start(city, seed=9)
+    assert a == b
+    assert not city.network.is_poi(a)
+
+
+def test_scenario_engine_sees_new_pois(city):
+    ensure_category_pois(city, ["Sake Bar"], per_category=1, seed=3)
+    engine = scenario_engine(city)
+    start = scenario_start(city, seed=4)
+    result = engine.query(start, ["Sake Bar"])
+    assert result.perfect is not None
+
+
+def test_geojson_empty_routes(city):
+    collection = routes_to_geojson(city.network, 0, [])
+    assert collection["features"] == []
+
+
+def test_route_feature_rank_and_properties(city):
+    engine = scenario_engine(city)
+    start = scenario_start(city, seed=5)
+    ensure_category_pois(city, ["Gift Shop"], per_category=1, seed=6)
+    engine.refresh_index()
+    result = engine.query(start, ["Gift Shop"])
+    feature = route_feature(city.network, start, result.routes[0], rank=7)
+    assert feature["properties"]["rank"] == 7
+    assert feature["properties"]["length"] == result.routes[0].length
+    assert len(feature["geometry"]["coordinates"]) >= 2
+
+
+def test_render_network_without_route(city):
+    art = render_network(city.network, width=30, height=8)
+    lines = art.splitlines()
+    assert len(lines) == 8
+    assert all(len(line) == 30 for line in lines)
+    assert any("o" in line for line in lines)  # PoIs drawn

@@ -1,0 +1,103 @@
+"""Unit + property tests for semantic-score aggregation (Eq. 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.scoring import (
+    MeanAggregator,
+    MinAggregator,
+    ProductAggregator,
+    aggregator_by_name,
+)
+
+AGGREGATORS = [ProductAggregator(), MinAggregator(), MeanAggregator()]
+
+
+def test_eq7_product_values():
+    agg = ProductAggregator()
+    assert agg.score_of([1.0, 1.0, 1.0]) == 0.0  # all perfect ⇒ 0
+    assert agg.score_of([0.5]) == 0.5
+    assert agg.score_of([0.5, 0.5]) == 0.75
+    assert agg.score_of([1.0, 2 / 3, 1.0]) == pytest.approx(1 / 3)
+
+
+def test_min_and_mean_values():
+    assert MinAggregator().score_of([1.0, 0.25, 0.5]) == 0.75
+    assert MeanAggregator().score_of([1.0, 0.5]) == pytest.approx(0.25)
+    assert MeanAggregator().score_of([1.0, 1.0]) == 0.0
+
+
+def test_mean_requires_positive_length():
+    with pytest.raises(ValueError):
+        MeanAggregator().initial(0)
+
+
+def test_registry():
+    assert isinstance(aggregator_by_name("product"), ProductAggregator)
+    assert isinstance(aggregator_by_name("min"), MinAggregator)
+    assert isinstance(aggregator_by_name("mean"), MeanAggregator)
+    with pytest.raises(ValueError):
+        aggregator_by_name("median")
+
+
+@pytest.mark.parametrize("agg", AGGREGATORS, ids=lambda a: a.name)
+def test_empty_route_scores_zero(agg):
+    assert agg.score(agg.initial(4)) == 0.0
+
+
+@pytest.mark.parametrize("agg", AGGREGATORS, ids=lambda a: a.name)
+@settings(deadline=None, max_examples=80)
+@given(
+    sims=st.lists(
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_prefix_lower_bound(agg, sims):
+    """Definition 3.5: a prefix score never exceeds any completion score
+    (Lemma 5.2's semantic half)."""
+    n = len(sims)
+    state = agg.initial(n)
+    scores = [agg.score(state)]
+    for sim in sims:
+        state = agg.extend(state, sim)
+        scores.append(agg.score(state))
+    assert all(
+        scores[i] <= scores[i + 1] + 1e-12 for i in range(len(scores) - 1)
+    )
+    assert 0.0 <= scores[-1] <= 1.0 + 1e-12
+
+
+@pytest.mark.parametrize("agg", AGGREGATORS, ids=lambda a: a.name)
+@settings(deadline=None, max_examples=60)
+@given(
+    prefix=st.lists(
+        st.floats(min_value=0.05, max_value=1.0), min_size=0, max_size=3
+    ),
+    sigma=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_property_min_increment_is_a_lower_bound(agg, prefix, sigma):
+    """Appending any non-perfect sim raises the score by >= δ when the
+    deviation's similarity is at most the advertised best_nonperfect."""
+    n = len(prefix) + 1
+    state = agg.initial(n)
+    for sim in prefix:
+        state = agg.extend(state, sim)
+    before = agg.score(state)
+    delta = agg.min_increment(state, sigma)
+    after = agg.score(agg.extend(state, sigma))
+    assert after - before >= delta - 1e-12
+    assert agg.min_increment(state, None) == math.inf
+
+
+def test_min_aggregator_zero_increment_case():
+    """A non-perfect sim above the current min costs nothing: δ = 0,
+    which must disable Lemma 5.8 (BSSR checks δ > 0)."""
+    agg = MinAggregator()
+    state = agg.extend(agg.initial(3), 0.4)
+    assert agg.min_increment(state, 0.9) == 0.0
+    assert agg.min_increment(state, 0.1) == pytest.approx(0.3)

@@ -1,0 +1,161 @@
+"""The modified Dijkstra (Algorithm 2): emission, Lemma 5.5, resume."""
+
+import math
+
+import pytest
+
+from repro.core.search import PoICandidateSearch
+from repro.core.spec import CategoryRequirement, compile_query
+from repro.core.stats import SearchStats
+from repro.graph.poi import PoIIndex
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.similarity import HierarchyWuPalmer
+
+from .conftest import small_forest
+
+
+def _line_instance():
+    """start -- p_weak -- p_perfect -- p_far  on one line.
+
+    p_weak (Italian, sim 0.5 for query Ramen), p_perfect (Ramen, sim 1),
+    p_far (Sushi, sim 0.8) strictly behind the perfect match.
+    """
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    weak = net.add_poi(forest.resolve("Italian"))
+    perfect = net.add_poi(forest.resolve("Ramen"))
+    far = net.add_poi(forest.resolve("Sushi"))
+    net.add_edge(start, weak, 1.0)
+    net.add_edge(weak, perfect, 1.0)
+    net.add_edge(perfect, far, 1.0)
+    index = PoIIndex(net, forest)
+    spec = CategoryRequirement(forest.resolve("Ramen")).compile(
+        index, HierarchyWuPalmer(), 0
+    )
+    return net, spec, dict(start=start, weak=weak, perfect=perfect, far=far)
+
+
+def test_candidates_in_distance_order_with_perfect_stop():
+    net, spec, ids = _line_instance()
+    search = PoICandidateSearch(net, spec, ids["start"])
+    found = list(search.candidates_until(math.inf))
+    # weak emitted (sim 0.5), perfect emitted (sim 1.0); far is behind a
+    # perfect match → traversal stopped (Lemma 5.5 ii)
+    assert [(v, s) for _, v, s in found] == [
+        (ids["weak"], 0.5),
+        (ids["perfect"], 1.0),
+    ]
+    distances = [d for d, _, _ in found]
+    assert distances == [1.0, 2.0]
+
+
+def test_suppression_of_weaker_candidate_behind_stronger():
+    """Lemma 5.5 (i): a PoI behind another with >= similarity is not
+    emitted (its route would be dominated by the substitution)."""
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    sushi = net.add_poi(forest.resolve("Sushi"))     # sim 0.8 for Ramen
+    italian = net.add_poi(forest.resolve("Italian"))  # sim 0.5, behind sushi
+    net.add_edge(start, sushi, 1.0)
+    net.add_edge(sushi, italian, 1.0)
+    index = PoIIndex(net, forest)
+    spec = CategoryRequirement(forest.resolve("Ramen")).compile(
+        index, HierarchyWuPalmer(), 0
+    )
+    search = PoICandidateSearch(net, spec, start)
+    found = [(v, s) for _, v, s in search.candidates_until(math.inf)]
+    assert found == [(sushi, 0.8)]
+
+
+def test_stronger_candidate_behind_weaker_is_emitted():
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    italian = net.add_poi(forest.resolve("Italian"))  # sim 0.5
+    sushi = net.add_poi(forest.resolve("Sushi"))      # sim 0.8 behind it
+    net.add_edge(start, italian, 1.0)
+    net.add_edge(italian, sushi, 1.0)
+    index = PoIIndex(net, forest)
+    spec = CategoryRequirement(forest.resolve("Ramen")).compile(
+        index, HierarchyWuPalmer(), 0
+    )
+    search = PoICandidateSearch(net, spec, start)
+    found = [(v, s) for _, v, s in search.candidates_until(math.inf)]
+    assert found == [(italian, 0.5), (sushi, 0.8)]
+
+
+def test_excluded_pois_are_transparent():
+    """An excluded PoI is neither emitted nor a stop/suppression point."""
+    net, spec, ids = _line_instance()
+    search = PoICandidateSearch(
+        net, spec, ids["start"], exclude=frozenset({ids["perfect"]})
+    )
+    found = [(v, s) for _, v, s in search.candidates_until(math.inf)]
+    # perfect excluded → traversal continues to far (sim 0.8 > 0.5 path max)
+    assert found == [(ids["weak"], 0.5), (ids["far"], 0.8)]
+
+
+def test_budget_pauses_and_resumes_search():
+    net, spec, ids = _line_instance()
+    search = PoICandidateSearch(net, spec, ids["start"])
+    first = list(search.candidates_until(1.5))
+    assert [v for _, v, _ in first] == [ids["weak"]]
+    assert not search.exhausted
+    # resume with a bigger budget: stored candidates replayed first
+    second = list(search.candidates_until(10.0))
+    assert [v for _, v, _ in second] == [ids["weak"], ids["perfect"]]
+    assert search.radius <= 2.0
+
+
+def test_dynamic_budget_callable():
+    net, spec, ids = _line_instance()
+    search = PoICandidateSearch(net, spec, ids["start"])
+    budgets = iter([5.0, 5.0, 5.0, 0.0, 0.0, 0.0])
+    found = list(search.candidates_until(lambda: next(budgets)))
+    assert len(found) <= 2
+
+
+def test_stats_counters():
+    net, spec, ids = _line_instance()
+    stats = SearchStats()
+    search = PoICandidateSearch(net, spec, ids["start"], stats=stats)
+    list(search.candidates_until(math.inf))
+    assert stats.settled == 3  # start, weak, perfect (far never settled)
+    assert stats.relaxed > 0
+    assert stats.heap_pushes > 0
+
+
+def test_source_can_be_candidate():
+    """A query starting on a matching PoI yields a zero-length candidate."""
+    forest = small_forest()
+    net = RoadNetwork()
+    poi = net.add_poi(forest.resolve("Ramen"))
+    other = net.add_poi(forest.resolve("Sushi"))
+    net.add_edge(poi, other, 2.0)
+    index = PoIIndex(net, forest)
+    spec = CategoryRequirement(forest.resolve("Ramen")).compile(
+        index, HierarchyWuPalmer(), 0
+    )
+    search = PoICandidateSearch(net, spec, poi)
+    found = list(search.candidates_until(math.inf))
+    assert found[0] == (0.0, poi, 1.0)
+    # perfect at the source stops traversal entirely (Lemma 5.5 ii)
+    assert len(found) == 1
+
+
+def test_compiled_query_end_to_end():
+    forest = small_forest()
+    net = RoadNetwork()
+    start = net.add_vertex()
+    ramen = net.add_poi(forest.resolve("Ramen"))
+    gift = net.add_poi(forest.resolve("Gift"))
+    net.add_edge(start, ramen, 1.0)
+    net.add_edge(ramen, gift, 1.0)
+    index = PoIIndex(net, forest)
+    compiled = compile_query(start, ["Ramen", "Gift"], index, HierarchyWuPalmer())
+    s0 = PoICandidateSearch(net, compiled.specs[0], start)
+    assert [v for _, v, _ in s0.candidates_until(math.inf)] == [ramen]
+    s1 = PoICandidateSearch(net, compiled.specs[1], ramen)
+    assert [v for _, v, _ in s1.candidates_until(math.inf)] == [gift]

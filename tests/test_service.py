@@ -1,0 +1,141 @@
+"""Prototype service, GeoJSON export, rendering, simulated user study."""
+
+import json
+
+import pytest
+
+from repro.datasets.paper_example import figure1_query
+from repro.datasets.presets import mini_city
+from repro.errors import QueryError
+from repro.service.geojson import (
+    dumps,
+    route_waypoints,
+    routes_to_geojson,
+)
+from repro.service.prototype import SkySRService
+from repro.service.rendering import render_network, render_route_summary
+from repro.service.user_study import QUESTIONS, simulate_user_study
+
+
+@pytest.fixture(scope="module")
+def service():
+    return SkySRService(mini_city())
+
+
+def test_plan_returns_ranked_cards(service):
+    data = service.dataset
+    response = service.plan(
+        list(figure1_query()), start=data.landmarks["vq"]
+    )
+    assert response.cards
+    assert response.best() is response.cards[0]
+    # rank 1 is the shortest; semantic fit in [0, 1]
+    distances = [card.distance for card in response.cards]
+    assert distances == sorted(distances)
+    for card in response.cards:
+        assert 0.0 <= card.semantic_fit <= 1.0
+        assert len(card.stops) == 3
+        assert "category" in card.stops[0]
+    text = response.render_text()
+    assert "Routes for" in text and "#1" in text
+    assert "% match" in response.cards[0].headline()
+
+
+def test_plan_snaps_map_click(service):
+    data = service.dataset
+    coords = data.network.coords(data.landmarks["vq"])
+    response = service.plan(list(figure1_query()), near=coords)
+    assert response.start == data.landmarks["vq"]
+    with pytest.raises(QueryError):
+        service.plan(list(figure1_query()))  # no start at all
+
+
+def test_max_routes_cap():
+    capped = SkySRService(mini_city(), max_routes=1)
+    data = capped.dataset
+    response = capped.plan(
+        list(figure1_query()), start=data.landmarks["vq"]
+    )
+    assert len(response.cards) == 1
+
+
+def test_no_feasible_route_renders_gracefully(service):
+    # the Travel & Transport tree has no PoIs in the mini city
+    response = service.plan(
+        ["Hotel", "Gift Shop"], start=service.dataset.landmarks["vq"]
+    )
+    assert response.cards == []
+    assert "(no feasible route)" in response.render_text()
+
+
+def test_geojson_structure(service):
+    data = service.dataset
+    start = data.landmarks["vq"]
+    response = service.plan(list(figure1_query()), start=start)
+    routes = response.result.routes
+    collection = routes_to_geojson(data.network, start, routes)
+    assert collection["type"] == "FeatureCollection"
+    assert len(collection["features"]) == len(routes)
+    feature = collection["features"][0]
+    assert feature["geometry"]["type"] == "LineString"
+    assert len(feature["geometry"]["coordinates"]) == len(routes[0].pois) + 1
+    assert feature["properties"]["rank"] == 1
+    parsed = json.loads(dumps(collection))
+    assert parsed == collection
+
+
+def test_geojson_full_geometry(service):
+    data = service.dataset
+    start = data.landmarks["vq"]
+    response = service.plan(list(figure1_query()), start=start)
+    route = response.result.routes[0]
+    waypoints = route_waypoints(data.network, start, route)
+    assert waypoints[0] == start
+    for poi in route.pois:
+        assert poi in waypoints
+    # consecutive waypoints are adjacent in the network
+    for a, b in zip(waypoints, waypoints[1:]):
+        assert data.network.has_edge(a, b)
+    full = routes_to_geojson(data.network, start, [route], full_geometry=True)
+    assert len(full["features"][0]["geometry"]["coordinates"]) == len(waypoints)
+
+
+def test_render_network_ascii(service):
+    data = service.dataset
+    response = service.plan(
+        list(figure1_query()), start=data.landmarks["vq"]
+    )
+    art = render_network(
+        data.network,
+        width=40,
+        height=12,
+        start=data.landmarks["vq"],
+        route=response.result.routes[0],
+    )
+    lines = art.splitlines()
+    assert len(lines) == 12
+    assert any("S" in line for line in lines)
+    assert any("1" in line for line in lines)
+    summary = render_route_summary(
+        data.network, response.result.routes[0], ["a", "b", "c"]
+    )
+    assert summary.startswith("S -> a -> b -> c")
+
+
+def test_user_study_shape():
+    outcome = simulate_user_study(mini_city(), respondents=10, seed=7)
+    assert outcome.respondents == 10
+    assert set(outcome.answers) == set(QUESTIONS)
+    for question in QUESTIONS:
+        ratios = outcome.ratios(question)
+        assert len(ratios) == 3
+        assert sum(ratios) == pytest.approx(1.0)
+    assert 0.0 <= outcome.mean_satisfaction <= 1.0
+    text = outcome.render_text()
+    assert "Q1" in text and "%" in text
+
+
+def test_user_study_deterministic():
+    a = simulate_user_study(mini_city(), respondents=8, seed=3)
+    b = simulate_user_study(mini_city(), respondents=8, seed=3)
+    assert a.answers == b.answers

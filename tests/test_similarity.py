@@ -1,0 +1,151 @@
+"""Unit + property tests for the similarity measures (Definition 3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.similarity import (
+    ClassicWuPalmer,
+    HierarchyWuPalmer,
+    PathLengthSimilarity,
+    similarity_by_name,
+)
+
+from .conftest import small_forest
+
+MEASURES = [HierarchyWuPalmer(), ClassicWuPalmer(), PathLengthSimilarity()]
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return small_forest()
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+def test_definition_3_3_axioms(measure, forest):
+    """Perfect=1, same tree in (0,1], different trees = 0."""
+    ramen = forest.resolve("Ramen")
+    assert measure.similarity(forest, ramen, ramen) == 1.0
+    for other in ("Sushi", "Italian", "Asian", "Food", "Bakery"):
+        sim = measure.similarity(forest, ramen, forest.resolve(other))
+        assert 0.0 < sim <= 1.0
+    for unrelated in ("Gift", "Jazz", "Museum"):
+        assert measure.similarity(forest, ramen, forest.resolve(unrelated)) == 0.0
+
+
+def test_hierarchy_wu_palmer_closed_form(forest):
+    """sim = 2·d(L)/(d(c)+d(L)) with perfect-on-subtree semantics."""
+    measure = HierarchyWuPalmer()
+    asian = forest.resolve("Asian")  # depth 2
+    ramen = forest.resolve("Ramen")  # depth 3
+    italian = forest.resolve("Italian")  # depth 2
+    food = forest.resolve("Food")  # depth 1
+    # descendant of the query: perfect (closure-set rule)
+    assert measure.similarity(forest, asian, ramen) == 1.0
+    # parent level: L = Food (depth 1), query depth 2 → 2/3
+    assert measure.similarity(forest, asian, food) == pytest.approx(2.0 / 3.0)
+    # sibling: same L → same value as matching the parent itself
+    assert measure.similarity(forest, asian, italian) == pytest.approx(2.0 / 3.0)
+    # deeper query: Ramen (d=3) vs Italian → L = Food → 2·1/(3+1)
+    assert measure.similarity(forest, ramen, italian) == pytest.approx(0.5)
+    # Ramen vs Sushi → L = Asian (d=2) → 2·2/(3+2)
+    assert measure.similarity(
+        forest, ramen, forest.resolve("Sushi")
+    ) == pytest.approx(0.8)
+
+
+def test_classic_wu_palmer_not_perfect_for_descendants(forest):
+    measure = ClassicWuPalmer()
+    asian = forest.resolve("Asian")
+    ramen = forest.resolve("Ramen")
+    sim = measure.similarity(forest, asian, ramen)
+    assert 0.0 < sim < 1.0
+    # symmetric
+    assert sim == measure.similarity(forest, ramen, asian)
+
+
+def test_path_length_values(forest):
+    measure = PathLengthSimilarity()
+    ramen = forest.resolve("Ramen")
+    assert measure.similarity(forest, ramen, ramen) == 1.0
+    assert measure.similarity(forest, ramen, forest.resolve("Asian")) == 0.5
+    assert measure.similarity(forest, ramen, forest.resolve("Sushi")) == pytest.approx(1 / 3)
+    assert measure.similarity(forest, ramen, forest.resolve("Bakery")) == 0.25
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+def test_best_nonperfect_matches_bruteforce(measure, forest):
+    """The closed-form best_nonperfect equals a scan over the tree."""
+    for name in ("Ramen", "Asian", "Food", "Gift", "Jazz"):
+        cid = forest.resolve(name)
+        scan_best = None
+        for other in forest.categories_in_tree(forest.tree_id(cid)):
+            sim = measure.similarity(forest, cid, other)
+            if sim < 1.0 and (scan_best is None or sim > scan_best):
+                scan_best = sim
+        assert measure.best_nonperfect(forest, cid) == pytest.approx(
+            scan_best
+        ) or (scan_best is None and measure.best_nonperfect(forest, cid) is None)
+
+
+def test_hierarchy_best_nonperfect_root_is_none(forest):
+    measure = HierarchyWuPalmer()
+    assert measure.best_nonperfect(forest, forest.resolve("Food")) is None
+    # non-root: parent-level closed form
+    ramen = forest.resolve("Ramen")
+    assert measure.best_nonperfect(forest, ramen) == pytest.approx(
+        2.0 * 2 / (3 + 2)
+    )
+
+
+def test_similarity_by_name_registry():
+    assert isinstance(similarity_by_name("hierarchy-wu-palmer"), HierarchyWuPalmer)
+    assert isinstance(similarity_by_name("classic-wu-palmer"), ClassicWuPalmer)
+    assert isinstance(similarity_by_name("path-length"), PathLengthSimilarity)
+    with pytest.raises(ValueError):
+        similarity_by_name("nope")
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    a=st.sampled_from(
+        ["Food", "Asian", "Ramen", "Sushi", "Italian", "Bakery", "Shop",
+         "Gift", "Hobby", "Games", "Clothes", "Fun", "Museum", "Art Museum",
+         "Music", "Jazz"]
+    ),
+    b=st.sampled_from(
+        ["Food", "Asian", "Ramen", "Sushi", "Italian", "Bakery", "Shop",
+         "Gift", "Hobby", "Games", "Clothes", "Fun", "Museum", "Art Museum",
+         "Music", "Jazz"]
+    ),
+)
+def test_property_range_and_tree_consistency(a, b):
+    forest = small_forest()
+    ca, cb = forest.resolve(a), forest.resolve(b)
+    same_tree = forest.tree_id(ca) == forest.tree_id(cb)
+    for measure in MEASURES:
+        sim = measure.similarity(forest, ca, cb)
+        assert 0.0 <= sim <= 1.0
+        if same_tree:
+            assert sim > 0.0
+        else:
+            assert sim == 0.0
+        if a == b:
+            assert sim == 1.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    query=st.sampled_from(["Ramen", "Sushi", "Games", "Art Museum", "Jazz"]),
+)
+def test_property_hierarchy_monotone_up_ancestor_chain(query):
+    """Walking the PoI category up toward the lca never increases
+    similarity faster than the lca itself (max at the lca level)."""
+    forest = small_forest()
+    measure = HierarchyWuPalmer()
+    cid = forest.resolve(query)
+    chain = forest.ancestors(cid)
+    sims = [measure.similarity(forest, cid, c) for c in chain]
+    # self is perfect, ancestors strictly decreasing with shallower depth
+    assert sims[0] == 1.0
+    assert all(sims[i] >= sims[i + 1] for i in range(len(sims) - 1))

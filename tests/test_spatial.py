@@ -1,0 +1,95 @@
+"""Unit tests for spatial helpers and PoI edge-embedding."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dijkstra import dijkstra
+from repro.graph.road_network import RoadNetwork
+from repro.graph.spatial import (
+    bounding_box,
+    embed_poi_on_edge,
+    equirectangular,
+    euclidean,
+    nearest_edge,
+    nearest_vertex,
+)
+
+from .conftest import integer_grid
+
+
+def test_euclidean_and_equirectangular():
+    assert euclidean((0, 0), (3, 4)) == 5.0
+    assert equirectangular((10.0, 0.0), (11.0, 0.0)) == pytest.approx(1.0)
+    # a degree of longitude shrinks with latitude
+    at_equator = equirectangular((10.0, 0.0), (11.0, 0.0))
+    at_60 = equirectangular((10.0, 60.0), (11.0, 60.0))
+    assert at_60 < at_equator
+    assert at_60 == pytest.approx(math.cos(math.radians(60.0)), rel=1e-3)
+
+
+def test_nearest_vertex_and_edge():
+    net = RoadNetwork()
+    a = net.add_vertex(0.0, 0.0)
+    b = net.add_vertex(10.0, 0.0)
+    net.add_edge(a, b, 10.0)
+    assert nearest_vertex(net, (1.0, 1.0)) == a
+    assert nearest_vertex(net, (9.0, 1.0)) == b
+    u, v, t = nearest_edge(net, (3.0, 2.0))
+    assert {u, v} == {a, b}
+    assert t == pytest.approx(0.3)
+    with pytest.raises(GraphError):
+        nearest_vertex(RoadNetwork(), (0, 0))
+
+
+def test_nearest_edge_clamps_projection():
+    net = RoadNetwork()
+    a = net.add_vertex(0.0, 0.0)
+    b = net.add_vertex(10.0, 0.0)
+    net.add_edge(a, b, 10.0)
+    _, _, t = nearest_edge(net, (-5.0, 1.0))
+    assert t == 0.0
+    _, _, t = nearest_edge(net, (15.0, 1.0))
+    assert t == 1.0
+
+
+def test_embed_poi_preserves_shortest_paths():
+    rng = random.Random(0)
+    net = integer_grid(4, 4, rng, extra_edges=0)
+    before = dijkstra(net, 0)
+    pid = embed_poi_on_edge(net, 5, (0.4, 0.0))
+    assert net.is_poi(pid)
+    after = dijkstra(net, 0)
+    for vid, dist in before.items():
+        assert after[vid] == pytest.approx(dist)
+    # the PoI splits the chosen edge with weights summing to the original
+    legs = sorted(w for _, w in net.neighbors(pid))
+    assert sum(legs) == pytest.approx(1.0)
+    assert after[pid] == pytest.approx(min(
+        before[u] + w for u, w in
+        ((v, w) for v, w in net.neighbors(pid))
+    ))
+
+
+def test_embed_poi_on_directed_network_is_bidirectional():
+    net = RoadNetwork(directed=True)
+    a = net.add_vertex(0.0, 0.0)
+    b = net.add_vertex(2.0, 0.0)
+    net.add_edge(a, b, 2.0)
+    net.add_edge(b, a, 2.0)
+    pid = embed_poi_on_edge(net, 9, (1.0, 0.1), edge=(a, b))
+    dist_from_a = dijkstra(net, a)
+    dist_from_p = dijkstra(net, pid)
+    assert pid in dist_from_a
+    assert a in dist_from_p and b in dist_from_p
+
+
+def test_bounding_box():
+    net = RoadNetwork()
+    net.add_vertex(-1.0, 2.0)
+    net.add_vertex(3.0, -4.0)
+    assert bounding_box(net) == (-1.0, -4.0, 3.0, 2.0)
+    with pytest.raises(GraphError):
+        bounding_box(RoadNetwork())

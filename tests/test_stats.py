@@ -1,0 +1,42 @@
+"""SearchStats bookkeeping: merge, mean, export."""
+
+from repro.core.stats import SearchStats, mean_stats
+
+
+def test_as_dict_flattens_extra():
+    stats = SearchStats(algorithm="bssr", settled=5)
+    stats.extra["custom"] = 42
+    payload = stats.as_dict()
+    assert payload["algorithm"] == "bssr"
+    assert payload["settled"] == 5
+    assert payload["custom"] == 42
+    assert "extra" not in payload
+
+
+def test_merge_sums_and_maxes():
+    a = SearchStats(settled=5, elapsed=1.0, max_queue_size=3)
+    b = SearchStats(settled=7, elapsed=0.5, max_queue_size=9)
+    a.merge(b)
+    assert a.settled == 12
+    assert a.elapsed == 1.5
+    assert a.max_queue_size == 9
+
+
+def test_mean_stats():
+    a = SearchStats(algorithm="x", settled=10, elapsed=2.0)
+    b = SearchStats(algorithm="x", settled=20, elapsed=4.0)
+    a.init_length_ratio = 0.5
+    mean = mean_stats([a, b])
+    assert mean.settled == 15
+    assert mean.elapsed == 3.0
+    assert mean.algorithm == "x"
+    assert mean.init_length_ratio == 0.5  # only defined values averaged
+
+
+def test_mean_stats_empty():
+    assert mean_stats([]).settled == 0
+
+
+def test_mean_stats_no_ratios():
+    mean = mean_stats([SearchStats(), SearchStats()])
+    assert mean.init_length_ratio is None

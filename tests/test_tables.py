@@ -1,0 +1,41 @@
+"""Experiment table formatting."""
+
+import math
+
+from repro.experiments.tables import format_series, format_table, format_value
+
+
+def test_format_value():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert format_value(math.inf) == "inf"
+    assert format_value(1234567) == "1,234,567"
+    assert format_value(12345.6) == "12,346"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(0.00123) == "0.00123"
+    assert format_value("text") == "text"
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"],
+        [["alpha", 1], ["b", 23456]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # consistent row width
+
+
+def test_format_series():
+    out = format_series(
+        "|Sq|", [2, 3], {"tokyo": [1.0, 2.0], "nyc": [None, 0.5]}
+    )
+    lines = out.splitlines()
+    assert "tokyo" in lines[0] and "nyc" in lines[0]
+    assert "-" in lines[2]  # the None cell in the x=2 row renders as dash

@@ -1,0 +1,76 @@
+"""Workload generation per the paper's Section 7.1 recipe."""
+
+import pytest
+
+from repro.datasets.presets import cal_like, tokyo_like
+from repro.datasets.workloads import (
+    generate_workload,
+    popular_leaf_categories,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return tokyo_like(0.15)
+
+
+def test_popular_leaves_have_pois(data):
+    counts = data.index.category_counts()
+    popular = popular_leaf_categories(data)
+    assert popular
+    for cid in popular:
+        assert counts[cid] >= 2
+        assert data.forest.category(cid).is_leaf
+
+
+def test_popular_leaves_threshold_override(data):
+    loose = popular_leaf_categories(data, min_count=1)
+    strict = popular_leaf_categories(data, min_count=10_000)
+    assert set(strict) <= set(loose)
+    assert len(strict) == 0 or len(loose) >= len(strict)
+
+
+def test_generate_workload_shape(data):
+    workload = generate_workload(data, 3, 10, seed=0)
+    assert len(workload) == 10
+    for query in workload:
+        assert query.size == 3
+        assert not data.network.is_poi(query.start)
+        trees = {data.forest.tree_id(c) for c in query.categories}
+        assert len(trees) == 3  # distinct category trees
+        for cid in query.categories:
+            assert data.forest.category(cid).is_leaf
+
+
+def test_generate_workload_deterministic(data):
+    a = generate_workload(data, 2, 5, seed=3)
+    b = generate_workload(data, 2, 5, seed=3)
+    c = generate_workload(data, 2, 5, seed=4)
+    assert a == b
+    assert a != c
+
+
+def test_generate_workload_validation(data):
+    with pytest.raises(DataError):
+        generate_workload(data, 0, 5)
+    with pytest.raises(DataError):
+        generate_workload(data, 100, 5)  # more trees than exist
+
+
+def test_workload_on_cal_forest():
+    data = cal_like(0.15)
+    workload = generate_workload(data, 5, 4, seed=1)
+    assert len(workload) == 4
+    for query in workload:
+        trees = {data.forest.tree_id(c) for c in query.categories}
+        assert len(trees) == 5
+
+
+def test_workload_allows_poi_starts(data):
+    workload = generate_workload(
+        data, 2, 30, seed=2, road_vertices_only=False
+    )
+    assert any(data.network.is_poi(q.start) for q in workload) or True
+    # (not guaranteed, but the option must at least not crash)
+    assert len(workload) == 30
