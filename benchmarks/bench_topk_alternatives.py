@@ -1,0 +1,40 @@
+"""Top-k alternatives — response time vs k for the BSSR-based search.
+
+The report sweeps k ∈ {1, 3, 5} on every synthetic preset (see
+``repro.experiments.topk``); the micro-benchmarks time one
+representative |S_q| = 3 query per k on the Tokyo-like dataset.
+"""
+
+import pytest
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.experiments import topk
+
+from .conftest import emit
+
+
+def test_topk_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: topk.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    # the k=1 column is the plain BSSR query: it must finish every cell
+    for row in report.data["rows"]:
+        assert row[2] is not None, f"k=1 timed out on {row[0]}"
+
+
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_benchmark_single_topk_query(benchmark, tokyo, tokyo_queries, k):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    query = tokyo_queries[0]
+    options = BSSROptions().but(k=k)
+
+    def run():
+        return engine.query(
+            query.start, list(query.categories), options=options
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.topk()) >= 1
+    assert len(result.topk()) <= k

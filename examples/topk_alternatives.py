@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Top-k alternatives: ranked route choices beyond the skyline.
+
+The plain SkySR query returns the skyline — one best route per
+length/semantic trade-off level.  Real route services show *ranked
+alternatives*: "here are your three best options".  Setting
+``BSSROptions(k=...)`` turns the same BSSR search into a top-k query:
+the engine retains the k-skyband (routes beaten by fewer than k
+others) and ``result.topk()`` ranks it by dominance depth, then
+length — rank 1 is always the plain query's shortest route.
+
+Run:  python examples/topk_alternatives.py
+"""
+
+from repro import BSSROptions, SkySREngine, datasets
+
+def main() -> None:
+    data = datasets.mini_city()
+    engine = SkySREngine(data.network, data.forest)
+    start = data.landmarks["vq"]
+    categories = ["Asian Restaurant", "Arts & Entertainment", "Gift Shop"]
+
+    skyline = engine.query(start, categories)
+    print("plain skyline query:")
+    print(skyline.to_table())
+
+    result = engine.query(start, categories, options=BSSROptions().but(k=3))
+    print("\ntop-3 ranked alternatives:")
+    print(result.to_ranked_table())
+    print(
+        f"\nskyband kept {len(result.skyband)} routes; "
+        f"rank 1 is the skyline's shortest "
+        f"({result.topk()[0].length:.4f})."
+    )
+
+    # The ranking is stable under k: rank 1 never changes.
+    assert result.topk()[0].scores() == skyline.shortest.scores()
+
+if __name__ == "__main__":
+    main()

@@ -39,13 +39,16 @@ from repro.core import (
     ALGORITHMS,
     BSSROptions,
     SearchStats,
+    SkybandSet,
     SkylineRoute,
     SkylineSet,
     SkySREngine,
     SkySRResult,
     compile_query,
     dominates,
+    rank_routes,
     run_bssr,
+    skyband_filter,
     skyline_filter,
 )
 from repro.errors import (
@@ -78,9 +81,12 @@ __all__ = [
     # values
     "SkylineRoute",
     "SkylineSet",
+    "SkybandSet",
     "SearchStats",
     "dominates",
+    "rank_routes",
     "skyline_filter",
+    "skyband_filter",
     # substrate
     "RoadNetwork",
     "PoIIndex",

@@ -12,12 +12,15 @@ from repro.baselines.supercat import (
     count_super_sequences,
     super_sequences,
 )
+from repro.baselines.topk import brute_force_skyband, brute_force_topk
 
 __all__ = [
     "osr_dijkstra",
     "osr_pne",
     "naive_skysr",
     "brute_force_skysr",
+    "brute_force_skyband",
+    "brute_force_topk",
     "enumerate_sequenced_routes",
     "super_sequences",
     "ancestor_options",

@@ -1,0 +1,47 @@
+"""Exhaustive top-k oracle — ground truth for the top-k cross-checks.
+
+Enumerates every sequenced route (via
+:func:`repro.baselines.brute_force.enumerate_sequenced_routes`),
+reduces the collection to its k-skyband, and ranks it the way the
+engine presents alternatives (dominance depth, then length, then
+semantic score).  Exponential in the sequence size; usable only on the
+small randomized instances the test suite generates, which is
+precisely its job.
+
+Like the skyline oracle, it is exact for every similarity measure,
+aggregator, and requirement type, because it scores concrete routes
+directly, exactly as the problem statement does.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.brute_force import enumerate_sequenced_routes
+from repro.core.dominance import rank_routes, skyband_filter
+from repro.core.routes import SkylineRoute
+from repro.core.spec import CompiledQuery
+from repro.graph.road_network import RoadNetwork
+from repro.semantics.scoring import SemanticAggregator
+
+
+def brute_force_skyband(
+    network: RoadNetwork,
+    query: CompiledQuery,
+    k: int,
+    *,
+    aggregator: SemanticAggregator | None = None,
+) -> list[SkylineRoute]:
+    """The k-skyband of all sequenced routes, length ascending."""
+    routes = enumerate_sequenced_routes(network, query, aggregator=aggregator)
+    return skyband_filter(routes, k)
+
+
+def brute_force_topk(
+    network: RoadNetwork,
+    query: CompiledQuery,
+    k: int,
+    *,
+    aggregator: SemanticAggregator | None = None,
+) -> list[SkylineRoute]:
+    """The ranked top-k alternatives (the engine's ``topk()`` contract)."""
+    band = brute_force_skyband(network, query, k, aggregator=aggregator)
+    return rank_routes(band, k)

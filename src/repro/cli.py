@@ -4,6 +4,7 @@ Subcommands::
 
     skysr info                       library + dataset overview
     skysr query  --preset tokyo --categories "Beer Garden" "Sake Bar" ...
+    skysr query  --topk 3 ...        ranked top-k alternatives
     skysr experiment figure3         regenerate one paper table/figure
     skysr experiment all             regenerate everything
     skysr generate --preset nyc out.json      save a dataset to JSON
@@ -18,10 +19,18 @@ import sys
 
 from repro import __version__
 from repro.core.engine import ALGORITHMS, SkySREngine
+from repro.core.options import BSSROptions
 from repro.datasets.presets import PRESETS, by_name
 from repro.experiments.harness import ExperimentConfig
 from repro.graph.io import save_dataset
 from repro.service.user_study import simulate_user_study
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_preset_args(parser: argparse.ArgumentParser) -> None:
@@ -59,18 +68,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
             v for v in data.network.vertices() if not data.network.is_poi(v)
         ]
         start = road[rng.randrange(len(road))]
+    options = None
+    if args.topk > 1:
+        options = BSSROptions().but(k=args.topk)
     result = engine.query(
         start,
         args.categories,
         algorithm=args.algorithm,
         destination=args.destination,
         ordered=not args.unordered,
+        options=options,
     )
-    print(
-        f"# {len(result)} skyline route(s) from vertex {start} "
-        f"[{result.algorithm}, {result.stats.elapsed * 1000:.1f} ms]"
-    )
-    print(result.to_table())
+    if result.k > 1:
+        print(
+            f"# top-{result.k}: {len(result)} ranked route(s) from vertex "
+            f"{start} [{result.algorithm}, "
+            f"{result.stats.elapsed * 1000:.1f} ms]"
+        )
+        print(result.to_ranked_table())
+    else:
+        print(
+            f"# {len(result)} skyline route(s) from vertex {start} "
+            f"[{result.algorithm}, {result.stats.elapsed * 1000:.1f} ms]"
+        )
+        print(result.to_table())
     return 0
 
 
@@ -128,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="bssr", choices=list(ALGORITHMS)
     )
     p_query.add_argument("--unordered", action="store_true")
+    p_query.add_argument(
+        "--topk",
+        "-k",
+        type=_positive_int,
+        default=1,
+        help="return up to K ranked alternatives (k-skyband; default 1 "
+        "= the plain skyline query)",
+    )
     p_query.add_argument(
         "--categories", nargs="+", required=True, metavar="CATEGORY"
     )

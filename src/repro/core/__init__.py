@@ -3,9 +3,13 @@
 from repro.core.bounds import LowerBounds, compute_lower_bounds
 from repro.core.bssr import run_bssr
 from repro.core.dominance import (
+    SkybandSet,
     SkylineSet,
+    dominance_depths,
     dominates,
     equivalent,
+    rank_routes,
+    skyband_filter,
     skyline_filter,
 )
 from repro.core.engine import ALGORITHMS, SkySREngine, SkySRResult
@@ -31,9 +35,13 @@ __all__ = [
     "SkylineRoute",
     "PartialRoute",
     "SkylineSet",
+    "SkybandSet",
     "dominates",
     "equivalent",
+    "dominance_depths",
+    "rank_routes",
     "skyline_filter",
+    "skyband_filter",
     "SearchStats",
     "mean_stats",
     "CompiledQuery",

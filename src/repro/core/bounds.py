@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from repro.core.dominance import SkylineSet
+from repro.core.dominance import SkybandSet
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
 from repro.graph.dijkstra import bounded_dijkstra, multi_source_min_distance
@@ -82,7 +82,7 @@ def _remaining_best_np_from(
 def compute_lower_bounds(
     network: RoadNetwork,
     query: CompiledQuery,
-    skyline: SkylineSet,
+    skyline: SkybandSet,
     *,
     enabled: bool = True,
     perfect_enabled: bool = True,

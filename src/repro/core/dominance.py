@@ -1,20 +1,30 @@
-"""Skyline dominance and the minimal sequenced-route set.
+"""Skyline / k-skyband dominance and the sequenced-route result sets.
 
 Implements Definition 4.1 (dominance / equivalence), Definition 4.2
 (the minimal set ``S``), and Definition 5.4 (the length-score threshold
 ``l̄(R)`` used by the branch-and-bound pruning of Lemma 5.3).
 
-The skyline set is tiny in practice (the paper measures ≤ 8 routes,
-Figure 6), so a sorted list with linear scans is both simple and fast.
-Entries are kept sorted by length ascending; because the set is a
-skyline, semantic scores are then strictly descending.
+For the top-k subsystem the skyline is generalized to the **k-skyband**
+(routes dominated by fewer than ``k`` other routes, exact score
+duplicates collapsed): :class:`SkybandSet` maintains it incrementally,
+and :class:`SkylineSet` is exactly the ``k = 1`` instance — the
+evolving minimal set of the paper.  The generalized threshold (the
+``k``-th smallest length among members at or below a semantic level)
+keeps every BSSR pruning rule sound: a partial route is discarded only
+when *all* of its completions would be rejected by :meth:`update`.
+
+Both sets are tiny in practice (the paper measures skylines of ≤ 8
+routes, Figure 6; the skyband is at most ~k× that), so sorted lists
+with linear scans are both simple and fast.  Entries are kept sorted by
+length ascending, semantic ascending; for ``k = 1`` the skyline
+property makes semantic scores strictly descending across entries.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.routes import SkylineRoute
 
@@ -45,20 +55,72 @@ def skyline_filter(routes: list[SkylineRoute]) -> list[SkylineRoute]:
     return result.routes()
 
 
-class SkylineSet:
-    """The evolving minimal set ``S`` of sequenced routes.
+def skyband_filter(routes: list[SkylineRoute], k: int) -> list[SkylineRoute]:
+    """The k-skyband of an arbitrary route collection, length ascending."""
+    result = SkybandSet(k)
+    for route in routes:
+        result.update(route)
+    return result.routes()
+
+
+def dominance_depths(routes: Sequence[SkylineRoute]) -> list[int]:
+    """Per-route count of other routes in the collection dominating it.
+
+    Depth 0 is the skyline layer; a k-skyband contains exactly the
+    routes of depth < k.  Quadratic, intended for the small result sets
+    SkySR queries produce.
+    """
+    scores = [route.scores() for route in routes]
+    return [
+        sum(1 for other in scores if other is not mine and dominates(other, mine))
+        for mine in scores
+    ]
+
+
+def rank_routes(
+    routes: Sequence[SkylineRoute], k: int | None = None
+) -> list[SkylineRoute]:
+    """Rank alternatives: dominance depth, then length, then semantic.
+
+    Rank 1 is therefore always the globally shortest route (nothing can
+    dominate the minimum-length member), matching the single-answer
+    BSSR presentation; deeper layers supply the "next best"
+    alternatives.  ``k`` truncates the ranked list.
+    """
+    depths = dominance_depths(routes)
+    order = sorted(
+        range(len(routes)),
+        key=lambda i: (depths[i], routes[i].length, routes[i].semantic),
+    )
+    ranked = [routes[i] for i in order]
+    return ranked if k is None else ranked[:k]
+
+
+class SkybandSet:
+    """The evolving k-skyband ``S_k`` of sequenced routes.
+
+    A route is a member iff fewer than ``k`` members dominate it; exact
+    score duplicates are collapsed to the first encountered, mirroring
+    the minimal-set rule of Definition 4.1.  ``k = 1`` reduces to the
+    paper's skyline set (see :class:`SkylineSet`).
 
     Supports the three operations BSSR needs:
 
-    * :meth:`update` — insert a candidate, dropping it if dominated or
-      equivalent, and evicting members it dominates (Lemma 5.1);
-    * :meth:`threshold` — Definition 5.4's ``l̄``: the smallest length
-      among members whose semantic score is ≤ the probe's;
+    * :meth:`update` — insert a candidate, dropping it if equivalent to
+      a member or dominated by ``k`` of them, and evicting members the
+      insertion pushes past ``k`` dominators (the Lemma 5.1 rule,
+      generalized);
+    * :meth:`threshold` — Definition 5.4's ``l̄``, generalized: the
+      ``k``-th smallest length among members whose semantic score is ≤
+      the probe's;
     * :meth:`dominated_or_equal` — Lemma 5.3's pruning test.
     """
 
-    def __init__(self) -> None:
-        self._lengths: list[float] = []
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"skyband k must be >= 1, got {k}")
+        self.k = k
+        self._keys: list[tuple[float, float]] = []
         self._entries: list[SkylineRoute] = []
         #: number of successful insertions (for SearchStats)
         self.updates = 0
@@ -72,45 +134,79 @@ class SkylineSet:
         return iter(self._entries)
 
     def routes(self) -> list[SkylineRoute]:
-        """Members sorted by length ascending (semantic descending)."""
+        """Members sorted by length ascending (semantic ascending)."""
         return list(self._entries)
 
+    def ranked(self, k: int | None = None) -> list[SkylineRoute]:
+        """Members ranked for presentation (see :func:`rank_routes`)."""
+        return rank_routes(self._entries, k)
+
     def update(self, route: SkylineRoute) -> bool:
-        """Insert ``route`` if it is not dominated/equivalent; True if kept."""
+        """Insert ``route`` unless equivalent to a member or dominated
+        by ``k`` of them; True if kept."""
         if self.dominated_or_equal(route.length, route.semantic):
             self.rejects += 1
             return False
-        # Evict members the new route dominates.  Members with smaller
-        # length cannot be dominated (skyline ⇒ their semantic is larger
-        # only if ours is... scan is cheap: the set stays tiny).
-        keep_l: list[float] = []
-        keep_e: list[SkylineRoute] = []
-        for length, entry in zip(self._lengths, self._entries):
-            if route.length <= length and route.semantic <= entry.semantic:
-                continue  # dominated by the newcomer (equivalence was ruled out)
-            keep_l.append(length)
-            keep_e.append(entry)
-        idx = bisect.bisect_left(keep_l, route.length)
-        keep_l.insert(idx, route.length)
-        keep_e.insert(idx, route)
-        self._lengths, self._entries = keep_l, keep_e
+        key = (route.length, route.semantic)
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._entries.insert(idx, route)
+        # Only the newcomer gained anyone a dominator: recount members
+        # it dominates and evict those now at >= k (scan is cheap: the
+        # set stays tiny).
+        evict = [
+            i
+            for i, other in enumerate(self._keys)
+            if dominates(key, other) and self._dominator_count(i) >= self.k
+        ]
+        for i in reversed(evict):
+            del self._keys[i]
+            del self._entries[i]
         self.updates += 1
         return True
 
+    def _dominator_count(self, idx: int) -> int:
+        mine = self._keys[idx]
+        return sum(
+            1
+            for i, other in enumerate(self._keys)
+            if i != idx and dominates(other, mine)
+        )
+
     def dominated_or_equal(self, length: float, semantic: float) -> bool:
-        """Is the score pair dominated by or equivalent to a member?"""
-        return self.threshold(semantic) <= length
+        """Would :meth:`update` reject this score pair?
+
+        True iff a member has exactly these scores (equivalence
+        collapse) or ``k`` members dominate it.
+        """
+        dominators = 0
+        for (other_l, other_s) in self._keys:
+            if other_l > length:
+                break  # sorted by length: nothing further can qualify
+            if other_s > semantic:
+                continue
+            if other_l == length and other_s == semantic:
+                return True
+            dominators += 1
+            if dominators >= self.k:
+                return True
+        return False
 
     def threshold(self, semantic: float) -> float:
-        """Definition 5.4: min length among members with ``s ≤ semantic``.
+        """Definition 5.4, generalized: the ``k``-th smallest length
+        among members with ``s ≤ semantic``.
 
-        ``inf`` when no such member exists (nothing can be pruned yet).
-        Entries are sorted by length ascending, so the first entry with a
-        small-enough semantic score is the minimum.
+        A candidate at this length or more (and this semantic score or
+        worse) is rejected by :meth:`update` — it is equivalent to or
+        dominated by ``k`` members.  ``inf`` when fewer than ``k``
+        members qualify (nothing can be pruned yet).
         """
-        for length, entry in zip(self._lengths, self._entries):
-            if entry.semantic <= semantic:
-                return length
+        need = self.k
+        for (length, other_s) in self._keys:
+            if other_s <= semantic:
+                need -= 1
+                if need == 0:
+                    return length
         return math.inf
 
     def perfect_route_length(self) -> float:
@@ -119,7 +215,14 @@ class SkylineSet:
 
     def as_score_set(self) -> set[tuple[float, float]]:
         """Score pairs of all members (order-free comparison in tests)."""
-        return {(r.length, r.semantic) for r in self._entries}
+        return set(self._keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SkylineSet({len(self._entries)} routes)"
+        return f"{type(self).__name__}(k={self.k}, {len(self._entries)} routes)"
+
+
+class SkylineSet(SkybandSet):
+    """The evolving minimal set ``S`` (Definition 4.2): the 1-skyband."""
+
+    def __init__(self) -> None:
+        super().__init__(1)

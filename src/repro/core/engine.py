@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.bssr import run_bssr
+from repro.core.dominance import rank_routes
 from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
 from repro.core.spec import CategoryRequirement, CompiledQuery, compile_query
@@ -50,9 +51,14 @@ ALGORITHMS = ("bssr", "bssr-noopt", "dij", "pne", "brute-force")
 class SkySRResult:
     """Outcome of one SkySR query.
 
-    ``routes`` is the minimal skyline set sorted by length ascending
-    (semantic score descending); ``stats`` carries the full counter set
-    of the executing algorithm.
+    For a plain skyline query (``k = 1``, the default) ``routes`` is
+    the minimal skyline set sorted by length ascending (semantic score
+    descending).  For a top-k query (``BSSROptions.k > 1``) ``routes``
+    is the *ranked* list of up to ``k`` alternatives (dominance depth,
+    then length — rank 1 is always the skyline's shortest route) and
+    ``skyband`` retains every route the search proved to be in the
+    k-skyband.  ``stats`` carries the full counter set of the executing
+    algorithm.
     """
 
     routes: list[SkylineRoute]
@@ -61,8 +67,14 @@ class SkySRResult:
     labels: list[str]
     algorithm: str
     destination: int | None = None
+    k: int = 1
+    skyband: list[SkylineRoute] = field(default_factory=list)
     _network: RoadNetwork | None = field(default=None, repr=False)
     _forest: CategoryForest | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.skyband:
+            self.skyband = list(self.routes)
 
     def __len__(self) -> int:
         return len(self.routes)
@@ -77,11 +89,27 @@ class SkySRResult:
 
     @property
     def perfect(self) -> SkylineRoute | None:
-        """The semantic-score-0 route, if one exists in the skyline."""
-        for route in self.routes:
+        """The best semantic-score-0 route, if any was found.
+
+        Scans the full skyband: a top-k query may rank the perfect
+        route below the ``k`` cut, but it is never dropped from the
+        skyband (depth 0 at semantic 0 is undominatable on that axis).
+        """
+        for route in self.skyband:  # length-ascending: first hit is best
             if route.is_perfect():
                 return route
         return None
+
+    def topk(self, k: int | None = None) -> list[SkylineRoute]:
+        """Up to ``k`` ranked alternatives from the skyband.
+
+        Ranked by dominance depth, then length, then semantic score, so
+        the first entry is always the skyline's shortest route — for
+        ``k = 1`` this is exactly ``[self.shortest]``.  ``k`` defaults
+        to the ``k`` the query was answered with; ask for less, or (up
+        to the skyband size) more.
+        """
+        return rank_routes(self.skyband, self.k if k is None else k)
 
     def poi_category_names(self, route: SkylineRoute) -> list[str]:
         """Own-category names of the route's PoIs (first category each)."""
@@ -106,6 +134,18 @@ class SkySRResult:
             chain = " -> ".join(self.poi_category_names(route))
             lines.append(
                 f"{route.length:>10.4f}  {route.semantic:>10.4f}  {chain}"
+            )
+        return "\n".join(lines)
+
+    def to_ranked_table(self, k: int | None = None) -> str:
+        """Ranked-alternatives rendering of :meth:`topk`."""
+        header = f"{'rank':>4}  {'distance':>10}  {'semantic':>10}  route"
+        lines = [header]
+        for rank, route in enumerate(self.topk(k), start=1):
+            chain = " -> ".join(self.poi_category_names(route))
+            lines.append(
+                f"{rank:>4}  {route.length:>10.4f}  "
+                f"{route.semantic:>10.4f}  {chain}"
             )
         return "\n".join(lines)
 
@@ -201,9 +241,12 @@ class SkySREngine:
         # so binding them at module import time would be circular.
         from repro.baselines.brute_force import brute_force_skysr
         from repro.baselines.naive import naive_skysr
+        from repro.baselines.topk import brute_force_skyband
         from repro.extensions.unordered import run_unordered_skysr
 
         compiled = self.compile(start, categories, destination=destination)
+        opts = options or self.options
+        k = opts.k
         if not ordered:
             if algorithm not in ("bssr", "bssr-noopt"):
                 raise QueryError(
@@ -213,15 +256,22 @@ class SkySREngine:
                 raise QueryError(
                     "unordered queries with destinations are not supported"
                 )
+            if k > 1:
+                raise QueryError(
+                    "top-k (k > 1) is not supported for unordered queries"
+                )
             routes, stats = run_unordered_skysr(
                 self.network, compiled, aggregator=self.aggregator
             )
             return self._result(routes, stats, compiled, "unordered-bssr")
 
         if algorithm == "bssr" or algorithm == "bssr-noopt":
-            opts = options or self.options
             if algorithm == "bssr-noopt":
-                opts = BSSROptions.without_optimizations()
+                # Keep the non-optimization knobs (k, safety valve)
+                # while disabling every Section 5.3 technique.
+                opts = BSSROptions.without_optimizations().but(
+                    k=opts.k, max_routes_expanded=opts.max_routes_expanded
+                )
             precomputed = None
             if self.preprocessing and opts.lower_bounds:
                 precomputed = self.tree_index.bounds_for(compiled)
@@ -233,6 +283,11 @@ class SkySREngine:
                 precomputed_bounds=precomputed,
             )
         elif algorithm in ("dij", "pne"):
+            if k > 1:
+                raise QueryError(
+                    "top-k (k > 1) is answered by the bssr/bssr-noopt/"
+                    "brute-force algorithms only"
+                )
             cids = self._plain_category_ids(categories)
             routes, stats = naive_skysr(
                 self.network,
@@ -247,9 +302,14 @@ class SkySREngine:
             )
         elif algorithm == "brute-force":
             started = perf_counter()
-            routes = brute_force_skysr(
-                self.network, compiled, aggregator=self.aggregator
-            )
+            if k > 1:
+                routes = brute_force_skyband(
+                    self.network, compiled, k, aggregator=self.aggregator
+                )
+            else:
+                routes = brute_force_skysr(
+                    self.network, compiled, aggregator=self.aggregator
+                )
             stats = SearchStats(
                 algorithm="brute-force", elapsed=perf_counter() - started
             )
@@ -258,7 +318,7 @@ class SkySREngine:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
-        return self._result(routes, stats, compiled, algorithm)
+        return self._result(routes, stats, compiled, algorithm, k=k)
 
     # ------------------------------------------------------------------
 
@@ -283,7 +343,15 @@ class SkySREngine:
         stats: SearchStats,
         compiled: CompiledQuery,
         algorithm: str,
+        *,
+        k: int = 1,
     ) -> SkySRResult:
+        # ``routes`` arrives length-sorted from the algorithms.  A plain
+        # skyline query returns it as-is; a top-k query presents the
+        # ranked truncation and keeps the full skyband alongside.
+        skyband = list(routes)
+        if k > 1:
+            routes = rank_routes(skyband, k)
         return SkySRResult(
             routes=routes,
             stats=stats,
@@ -291,6 +359,8 @@ class SkySREngine:
             labels=compiled.labels(),
             algorithm=algorithm,
             destination=compiled.destination,
+            k=k,
+            skyband=skyband,
             _network=self.network,
             _forest=self.forest,
         )

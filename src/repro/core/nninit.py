@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import math
 
-from repro.core.dominance import SkylineSet
+from repro.core.dominance import SkybandSet
 from repro.core.routes import SkylineRoute
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
@@ -34,7 +34,7 @@ def nninit(
     network: RoadNetwork,
     query: CompiledQuery,
     aggregator: SemanticAggregator,
-    skyline: SkylineSet,
+    skyline: SkybandSet,
     stats: SearchStats | None = None,
     dest_dist: dict[int, float] | None = None,
 ) -> list[SkylineRoute]:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import QueryError
+
 
 @dataclass(frozen=True)
 class BSSROptions:
@@ -32,6 +34,12 @@ class BSSROptions:
         caching: reuse modified-Dijkstra expansions via the on-the-fly
             cache (Section 5.3.4).  Automatically (and exactly) bypassed
             when query positions share category trees.
+        k: answer the *top-k* sequenced route query — the search keeps
+            expanding until the k-skyband (every route dominated by
+            fewer than ``k`` others) is complete, and results expose up
+            to ``k`` ranked alternatives via
+            :meth:`~repro.core.engine.SkySRResult.topk`.  ``k = 1``
+            (default) is the paper's plain skyline query.
         max_routes_expanded: optional safety valve for interactive
             services; ``None`` (default) never truncates.  When hit, the
             query raises :class:`~repro.errors.AlgorithmError`.
@@ -42,7 +50,12 @@ class BSSROptions:
     lower_bounds: bool = True
     perfect_match_bound: bool = True
     caching: bool = True
+    k: int = 1
     max_routes_expanded: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"top-k requires k >= 1, got {self.k}")
 
     @classmethod
     def all_enabled(cls) -> "BSSROptions":

@@ -16,6 +16,7 @@ from repro.experiments import (
     table7,
     table8,
     table9,
+    topk,
 )
 from repro.experiments.harness import ExperimentConfig, Report
 
@@ -31,6 +32,7 @@ _REGISTRY: dict[str, Callable[..., Report]] = {
     "figure4": figure4.run,
     "figure5": figure5.run,
     "figure6": figure6.run,
+    "topk": topk.run,
 }
 
 

@@ -1,0 +1,77 @@
+"""Top-k alternatives — response time and result size vs k.
+
+Beyond the paper: the top-k sequenced route query (after Liu et al.,
+*Finding Top-k Optimal Sequenced Routes*, 2018) relaxes BSSR's pruning
+thresholds to the k-th-smallest qualifying length, so the search
+retains up to k ranked alternatives per skyline level.  This experiment
+measures what the relaxation costs on the synthetic presets: mean
+response time and mean number of routes retained for k ∈ {1, 3, 5} at
+a fixed |S_q| = 3 workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.options import BSSROptions
+from repro.experiments.harness import (
+    CellResult,
+    ExperimentConfig,
+    Report,
+    dataset_by_name,
+    run_cell,
+    workload_for,
+)
+from repro.experiments.tables import format_table
+
+#: the k sweep of the report
+K_VALUES = (1, 3, 5)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    *,
+    datasets: tuple[str, ...] = ("tokyo", "nyc", "cal"),
+    sequence_size: int = 3,
+) -> Report:
+    config = config or ExperimentConfig.from_env()
+    size = min(sequence_size, config.max_sequence_size)
+    rows = []
+    cells: dict[tuple[str, int], CellResult] = {}
+    for dataset_name in datasets:
+        dataset = dataset_by_name(dataset_name, config.scale)
+        workload = workload_for(dataset, size, config)
+        row = [dataset.name, size]
+        sizes = []
+        for k in K_VALUES:
+            cell = run_cell(
+                dataset,
+                workload,
+                "bssr",
+                time_budget=config.time_budget,
+                options=BSSROptions().but(k=k),
+            )
+            cells[(dataset_name, k)] = cell
+            row.append(cell.mean_time)
+            sizes.append(None if cell.timed_out else cell.mean.result_size)
+        rows.append(row + sizes)
+    headers = (
+        ["dataset", "|Sq|"]
+        + [f"k={k} [s]" for k in K_VALUES]
+        + [f"k={k} routes" for k in K_VALUES]
+    )
+    table = format_table(
+        headers,
+        rows,
+        title="top-k alternatives: mean response time and mean skyband "
+        "size per query; '-' = cell exceeded its time budget "
+        f"({config.time_budget}s)",
+    )
+    return Report(
+        experiment="topk",
+        title="Top-k — response time vs k",
+        table=table,
+        data={"rows": rows, "cells": cells, "k_values": list(K_VALUES)},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -8,6 +8,13 @@ presented as a card with distance, a semantic-fit percentage, and the
 PoI chain.  :class:`SkySRService` is that facade — examples and the
 simulated user study drive it, and :mod:`repro.service.geojson` turns
 its answers into map-ready payloads.
+
+Production route services return *ranked alternatives*, not a single
+answer set: :meth:`SkySRService.plan` accepts a per-request ``k``
+(top-k alternatives from the k-skyband), and
+:meth:`SkySRService.plan_batch` / :meth:`SkySRService.batch_geojson`
+answer many requests in one call, the latter as map-ready GeoJSON —
+the shape of the prototype's HTTP batch endpoint.
 """
 
 from __future__ import annotations
@@ -82,22 +89,29 @@ class SkySRService:
         near: tuple[float, float] | None = None,
         destination: int | None = None,
         ordered: bool = True,
+        k: int | None = None,
     ) -> ServiceResponse:
         """Answer one trip request.
 
         ``start`` may be a vertex id or a map coordinate (``near``),
         which is snapped to the closest network vertex, as the paper's
-        web prototype does with a map click.
+        web prototype does with a map click.  ``k`` asks for up to
+        ``k`` ranked alternatives (the top-k sequenced route query)
+        instead of the plain skyline.
         """
         if start is None:
             if near is None:
                 raise QueryError("plan() needs a start vertex or a location")
             start = nearest_vertex(self.dataset.network, near)
+        options = None
+        if k is not None:
+            options = (self.engine.options or BSSROptions()).but(k=k)
         result = self.engine.query(
             start,
             list(categories),
             destination=destination,
             ordered=ordered,
+            options=options,
         )
         cards = self._cards(result)
         if self.max_routes is not None:
@@ -108,6 +122,62 @@ class SkySRService:
             cards=cards,
             result=result,
         )
+
+    def plan_batch(
+        self,
+        requests: list[dict],
+        *,
+        k: int | None = None,
+    ) -> list[ServiceResponse]:
+        """Answer many trip requests in one call (the batch endpoint).
+
+        Each request is a dict of :meth:`plan` keyword arguments plus
+        the mandatory ``categories``; a per-request ``k`` overrides the
+        batch-wide one.
+        """
+        responses = []
+        for request in requests:
+            kwargs = dict(request)
+            categories = kwargs.pop("categories")
+            kwargs.setdefault("k", k)
+            responses.append(self.plan(categories, **kwargs))
+        return responses
+
+    def batch_geojson(
+        self,
+        requests: list[dict],
+        *,
+        k: int | None = None,
+        full_geometry: bool = False,
+    ) -> dict:
+        """Batch answers as map-ready GeoJSON FeatureCollections.
+
+        Returns one entry per request, each carrying the request echo
+        and a FeatureCollection of the ranked alternatives (feature
+        ``properties.rank`` is the presentation rank).
+        """
+        from repro.service.geojson import routes_to_geojson
+
+        responses = self.plan_batch(requests, k=k)
+        batch = []
+        for response in responses:
+            result = response.result
+            # For k > 1 ``routes`` is already the ranked truncation.
+            routes = result.routes
+            batch.append(
+                {
+                    "query": response.query,
+                    "start": response.start,
+                    "k": result.k,
+                    "routes": routes_to_geojson(
+                        self.dataset.network,
+                        response.start,
+                        routes,
+                        full_geometry=full_geometry,
+                    ),
+                }
+            )
+        return {"type": "SkySRBatch", "responses": batch}
 
     def _cards(self, result: SkySRResult) -> list[RouteCard]:
         cards = []

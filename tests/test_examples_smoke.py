@@ -1,0 +1,35 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each example is loaded with :mod:`runpy` (so its ``__main__`` guard
+stays closed) and its ``main()`` is executed in-process on the bundled
+presets.  This keeps the scripts honest: an API change that breaks an
+example breaks the suite, instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_discovered():
+    # guard against the glob silently matching nothing after a move
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    namespace = runpy.run_path(
+        str(EXAMPLES_DIR / script), run_name="examples_smoke"
+    )
+    main = namespace.get("main")
+    assert callable(main), f"{script} must define a main() entry point"
+    main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

@@ -100,6 +100,7 @@ def test_registry_lists_all_paper_artifacts():
         "table7",
         "table8",
         "table9",
+        "topk",
     ]
     with pytest.raises(KeyError):
         registry.run_experiment("figure42")
