@@ -1,0 +1,82 @@
+"""Session resume vs recompute — the pagination acceptance benchmark.
+
+A resumable :class:`~repro.core.session.PlanningSession` must make
+"show me more" cheap: serving ranks ``k+1..2k`` by resuming the
+checkpointed search has to do *strictly less* search work — fewer
+queue pops (``SearchStats.routes_expanded``) — than recomputing the
+one-shot ``2k`` query from scratch, while returning score-identical
+ranked routes.  Both properties are asserted here on every preset, and
+the report table quantifies the saving.
+"""
+
+import pytest
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.datasets.workloads import generate_workload
+from repro.experiments import pagination
+
+from .conftest import emit
+
+PAGE_SIZE = 3
+
+
+def _scores(routes):
+    return [(r.length, round(r.semantic, 9)) for r in routes]
+
+
+def test_pagination_report(benchmark, bench_config, capsys):
+    report = benchmark.pedantic(
+        lambda: pagination.run(bench_config), rounds=1, iterations=1
+    )
+    emit(capsys, report)
+    for name, cell in report.data["cells"].items():
+        # Acceptance: resuming page 2 does strictly less search work
+        # than recomputing the 2k query from scratch.
+        assert (
+            cell["resume"].routes_expanded < cell["fresh"].routes_expanded
+        ), (
+            f"{name}: resume popped {cell['resume'].routes_expanded} "
+            f">= fresh {cell['fresh'].routes_expanded}"
+        )
+
+
+@pytest.mark.parametrize("dataset_name", ["tokyo", "nyc", "cal"])
+def test_resume_beats_recompute(
+    benchmark, bench_config, dataset_name, request
+):
+    dataset = request.getfixturevalue(
+        {"tokyo": "tokyo", "nyc": "nyc", "cal": "cal"}[dataset_name]
+    )
+    engine = SkySREngine(dataset.network, dataset.forest)
+    query = generate_workload(dataset, 3, 1, seed=bench_config.seed)[0]
+    fresh = engine.query(
+        query.start,
+        list(query.categories),
+        options=BSSROptions().but(k=2 * PAGE_SIZE),
+    )
+
+    def serve_two_pages():
+        session = engine.session(
+            query.start, list(query.categories), page_size=PAGE_SIZE
+        )
+        page1 = session.next_page()
+        page2 = session.next_page()
+        return session, page1, page2
+
+    session, page1, page2 = benchmark.pedantic(
+        serve_two_pages, rounds=3, iterations=1
+    )
+    # Exactness: pages 1+2 equal the one-shot top-2k, score for score.
+    assert _scores(page1.routes) + _scores(page2.routes) == _scores(
+        fresh.topk(2 * PAGE_SIZE)
+    )
+    # Strictly less work: the resumed leg pops fewer routes than the
+    # from-scratch 2k search (which repeats all of page 1's work).
+    assert page2.stats.routes_expanded < fresh.stats.routes_expanded
+    # ... and the whole session never does more pops than recompute
+    # *plus* the first page (no pathological duplication).
+    total = session.total_stats()
+    assert total.routes_expanded <= (
+        page1.stats.routes_expanded + fresh.stats.routes_expanded
+    )

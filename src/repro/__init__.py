@@ -38,6 +38,9 @@ from repro import (
 from repro.core import (
     ALGORITHMS,
     BSSROptions,
+    Page,
+    PlanningSession,
+    SearchState,
     SearchStats,
     SkybandSet,
     SkylineRoute,
@@ -45,13 +48,16 @@ from repro.core import (
     SkySREngine,
     SkySRResult,
     compile_query,
+    diversify,
     dominates,
     rank_routes,
+    route_similarity,
     run_bssr,
     skyband_filter,
     skyline_filter,
 )
 from repro.errors import (
+    AdmissionError,
     AlgorithmError,
     CategoryError,
     DataError,
@@ -78,6 +84,12 @@ __all__ = [
     "ALGORITHMS",
     "run_bssr",
     "compile_query",
+    # sessions & diversity
+    "PlanningSession",
+    "Page",
+    "SearchState",
+    "diversify",
+    "route_similarity",
     # values
     "SkylineRoute",
     "SkylineSet",
@@ -99,6 +111,7 @@ __all__ = [
     "GraphError",
     "CategoryError",
     "QueryError",
+    "AdmissionError",
     "DataError",
     "AlgorithmError",
     # subpackages

@@ -5,6 +5,10 @@ Subcommands::
     skysr info                       library + dataset overview
     skysr query  --preset tokyo --categories "Beer Garden" "Sake Bar" ...
     skysr query  --topk 3 ...        ranked top-k alternatives
+    skysr query  --topk 3 --page 2 ...      resumable pagination (page 2
+                                            continues the checkpointed
+                                            search for ranks 4..6)
+    skysr query  --topk 5 --diverse 0.6 ... MMR diversity re-ranking
     skysr experiment figure3         regenerate one paper table/figure
     skysr experiment all             regenerate everything
     skysr generate --preset nyc out.json      save a dataset to JSON
@@ -68,9 +72,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
             v for v in data.network.vertices() if not data.network.is_poi(v)
         ]
         start = road[rng.randrange(len(road))]
+    if args.page is not None:
+        return _paged_query(engine, start, args)
+    if args.diverse > 0.0 and args.topk <= 1:
+        print(
+            "error: --diverse re-ranks alternatives, so it needs "
+            "--topk K (K > 1) or --page",
+            file=sys.stderr,
+        )
+        return 2
     options = None
     if args.topk > 1:
-        options = BSSROptions().but(k=args.topk)
+        options = BSSROptions().but(
+            k=args.topk, diversity_lambda=args.diverse
+        )
     result = engine.query(
         start,
         args.categories,
@@ -80,9 +95,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         options=options,
     )
     if result.k > 1:
+        flavor = (
+            f"diverse (λ={args.diverse:g}) " if args.diverse > 0.0 else ""
+        )
         print(
-            f"# top-{result.k}: {len(result)} ranked route(s) from vertex "
-            f"{start} [{result.algorithm}, "
+            f"# top-{result.k}: {len(result)} {flavor}ranked route(s) "
+            f"from vertex {start} [{result.algorithm}, "
             f"{result.stats.elapsed * 1000:.1f} ms]"
         )
         print(result.to_ranked_table())
@@ -92,6 +110,46 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"[{result.algorithm}, {result.stats.elapsed * 1000:.1f} ms]"
         )
         print(result.to_table())
+    return 0
+
+
+def _paged_query(engine: SkySREngine, start: int, args) -> int:
+    """``--page P``: serve page P of size ``--topk`` via a resumable
+    session — pages 1..P-1 run/resume the checkpointed search, so page
+    P costs only the incremental work beyond page P-1."""
+    if args.algorithm != "bssr" or args.unordered:
+        print(
+            "error: --page requires the (ordered) bssr algorithm",
+            file=sys.stderr,
+        )
+        return 2
+    session = engine.session(
+        start,
+        args.categories,
+        destination=args.destination,
+        page_size=max(args.topk, 1),
+        diversity_lambda=args.diverse,
+    )
+    page = session.next_page()
+    for _ in range(args.page - 1):
+        if page.exhausted:
+            break
+        page = session.next_page()
+    result = session.to_result(page)
+    total = session.total_stats()
+    flavor = f", λ={args.diverse:g}" if args.diverse > 0.0 else ""
+    print(
+        f"# page {page.number} (ranks {page.first_rank}.."
+        f"{page.first_rank + max(len(page) - 1, 0)}) of a resumable "
+        f"top-k session [k={session.k}{flavor}, "
+        f"{total.routes_expanded:.0f} expansions total, "
+        f"{page.stats.routes_expanded} this page"
+        f"{', exhausted' if page.exhausted else ''}]"
+    )
+    if len(page):
+        print(result.to_page_table(first_rank=page.first_rank))
+    else:
+        print("(no further routes — the alternatives are exhausted)")
     return 0
 
 
@@ -156,6 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="return up to K ranked alternatives (k-skyband; default 1 "
         "= the plain skyline query)",
+    )
+    p_query.add_argument(
+        "--page",
+        type=_positive_int,
+        default=None,
+        metavar="P",
+        help="serve page P of size --topk through a resumable planning "
+        "session (each page after the first resumes the checkpointed "
+        "search for the next ranks instead of recomputing)",
+    )
+    p_query.add_argument(
+        "--diverse",
+        type=float,
+        default=0.0,
+        metavar="LAMBDA",
+        help="MMR diversity re-ranking trade-off in [0, 1] (0 = pure "
+        "rank order; penalizes PoI overlap and shared geometry with "
+        "higher-ranked alternatives)",
     )
     p_query.add_argument(
         "--categories", nargs="+", required=True, metavar="CATEGORY"

@@ -1,7 +1,13 @@
 """Core SkySR machinery: skyline set, BSSR, options, engine."""
 
 from repro.core.bounds import LowerBounds, compute_lower_bounds
-from repro.core.bssr import run_bssr
+from repro.core.bssr import BSSRSearch, SearchState, run_bssr
+from repro.core.diversity import (
+    diversify,
+    poi_jaccard,
+    route_similarity,
+    segment_jaccard,
+)
 from repro.core.dominance import (
     SkybandSet,
     SkylineSet,
@@ -17,6 +23,7 @@ from repro.core.nninit import nninit
 from repro.core.options import BSSROptions
 from repro.core.routes import PartialRoute, SkylineRoute
 from repro.core.search import PoICandidateSearch
+from repro.core.session import Page, PlanningSession
 from repro.core.spec import (
     CategoryRequirement,
     CompiledQuery,
@@ -32,6 +39,14 @@ __all__ = [
     "ALGORITHMS",
     "BSSROptions",
     "run_bssr",
+    "BSSRSearch",
+    "SearchState",
+    "PlanningSession",
+    "Page",
+    "diversify",
+    "poi_jaccard",
+    "segment_jaccard",
+    "route_similarity",
     "SkylineRoute",
     "PartialRoute",
     "SkylineSet",

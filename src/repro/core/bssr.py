@@ -28,13 +28,31 @@ Sequenced Routes*, 2018): the evolving set ``S`` becomes the k-skyband
 and every pruning threshold the k-th-smallest qualifying length, which
 relaxes the bounds exactly enough to retain k ranked alternatives per
 skyline level while preserving all Section 5.3 optimizations.
+
+Checkpoint / resume
+-------------------
+
+The search state is explicit: :class:`SearchState` owns everything a
+paused search needs to continue — the route queue, the evolving
+skyband, an *archive* of every completed route ever scored, the
+*deferred* list (routes pruned or budget-truncated under the current
+``k``), the lower bounds, and the modified-Dijkstra cache.  Instead of
+silently discarding work the current thresholds reject,
+:class:`BSSRSearch` parks it in ``deferred``; :meth:`BSSRSearch.resume`
+widens the skyband to a larger ``k'``, recomputes the (now looser)
+lower bounds, re-enqueues the deferred work, and drains the queue
+again.  Resume is exact: every route of the fresh ``k'`` search is
+either already archived, still deferred, or reachable by re-expanding a
+deferred prefix — so pagination (ranks ``k+1 .. k'``) never recomputes
+the routes the first pass already settled.  This is what
+:class:`~repro.core.session.PlanningSession` builds on.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
+from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.bounds import LowerBounds, compute_lower_bounds
@@ -46,7 +64,7 @@ from repro.core.routes import PartialRoute, SkylineRoute
 from repro.core.search import PoICandidateSearch
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, QueryError
 from repro.graph.dijkstra import dijkstra
 from repro.graph.road_network import RoadNetwork
 from repro.semantics.scoring import DEFAULT_AGGREGATOR, SemanticAggregator
@@ -68,47 +86,167 @@ def run_bssr(
     destination queries ignore it, since the destination leg bound is
     query-specific.
     """
-    runner = _BSSRRun(network, query, aggregator, options)
+    # One-shot callers never resume, so skip the checkpoint machinery:
+    # no route archive, no deferred-work retention.
+    runner = BSSRSearch(
+        network, query, aggregator, options, checkpointable=False
+    )
     runner.precomputed_bounds = precomputed_bounds
-    return runner.execute()
+    return runner.run()
 
 
-class _BSSRRun:
-    """One BSSR execution (Algorithm 1 plus Section 5.3 optimizations)."""
+class _ArchivingSkyband(SkybandSet):
+    """A k-skyband that remembers every route ever offered to it.
+
+    The archive (keyed by the PoI tuple, which fully determines a
+    route's scores) is what makes resume exact: rejected and evicted
+    routes may re-qualify under a larger ``k``, so the skyband of any
+    future ``k'`` can be rebuilt from the archive without re-searching.
+    """
+
+    def __init__(self, k: int, archive: dict[tuple[int, ...], SkylineRoute]):
+        super().__init__(k)
+        self.archive = archive
+
+    def update(self, route: SkylineRoute) -> bool:
+        self.archive.setdefault(route.pois, route)
+        return super().update(route)
+
+
+@dataclass
+class _Deferred:
+    """One unit of parked work: a route prefix plus how far into its
+    candidate stream the previous pass got before pruning/truncation."""
+
+    route: PartialRoute
+    consumed: int = 0
+
+
+@dataclass
+class SearchState:
+    """Explicit, checkpointable state of one BSSR search.
+
+    A drained search (queue empty) checkpoints to exactly this object;
+    :meth:`BSSRSearch.resume` continues from it with a larger ``k``.
+    Fields:
+
+    Attributes:
+        k: the skyband parameter the state is currently settled for.
+        skyband: the evolving k-skyband ``S_k`` (the archiving variant
+            for checkpointable searches, a plain set otherwise).
+        archive: every completed route ever scored, keyed by PoI tuple —
+            a superset of any future skyband up to the routes searched
+            so far.
+        deferred: work the current thresholds rejected — pruned partial
+            routes and budget-truncated expansions — kept instead of
+            discarded so a wider ``k`` can take it up again.
+        queue: the route priority queue ``Q_b`` (empty at a checkpoint).
+        bounds: the Section 5.3.3 lower bounds for the current ``k``
+            (the ``l̄(ϕ)`` ball grows with ``k``, so resume recomputes
+            them).
+        dest_dist: reverse distances to the destination, if any.
+        cache: the on-the-fly modified-Dijkstra cache (Section 5.3.4) —
+            shared across resumes, which is a large part of why resuming
+            beats recomputing.
+        serial: the queue tie-break counter.
+        resumes: how many times this state has been widened.
+    """
+
+    k: int
+    skyband: SkybandSet
+    archive: dict[tuple[int, ...], SkylineRoute]
+    deferred: list[_Deferred] = field(default_factory=list)
+    queue: list[tuple[tuple, int, PartialRoute, int]] = field(
+        default_factory=list
+    )
+    bounds: LowerBounds | None = None
+    dest_dist: dict[int, float] | None = None
+    cache: dict[tuple[int, int], PoICandidateSearch] = field(
+        default_factory=dict
+    )
+    serial: int = 0
+    resumes: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """No route outside the skyband exists anywhere in the search
+        space: a k-skyband smaller than ``k`` proves every sequenced
+        route (up to score-equivalence) is already a member, so no
+        resume can surface anything new."""
+        return len(self.skyband) < self.k
+
+    def next_serial(self) -> int:
+        value = self.serial
+        self.serial += 1
+        return value
+
+
+class BSSRSearch:
+    """One BSSR search (Algorithm 1 plus Section 5.3 optimizations),
+    resumable to larger ``k`` via its explicit :class:`SearchState`.
+
+    ``checkpointable=False`` (the :func:`run_bssr` one-shot path) skips
+    the resume machinery — no completed-route archive, no deferred-work
+    retention — restoring the seed's O(queue + skyband) footprint;
+    :meth:`resume` then refuses to run.
+    """
 
     def __init__(
         self,
         network: RoadNetwork,
         query: CompiledQuery,
-        aggregator: SemanticAggregator | None,
-        options: BSSROptions | None,
+        aggregator: SemanticAggregator | None = None,
+        options: BSSROptions | None = None,
+        *,
+        checkpointable: bool = True,
     ) -> None:
         self.network = network
         self.query = query
         self.aggregator = aggregator or DEFAULT_AGGREGATOR
         self.options = options or BSSROptions()
+        self.checkpointable = checkpointable
         self.stats = SearchStats(algorithm="bssr")
         # Top-k generalization: with k > 1 the evolving set is the
         # k-skyband and every threshold below becomes the k-th-smallest
         # length, so the search keeps expanding until k routes per
         # score level are complete.  k = 1 is exactly the paper's BSSR.
-        self.skyline = SkybandSet(self.options.k)
+        archive: dict[tuple[int, ...], SkylineRoute] = {}
+        self.state = SearchState(
+            k=self.options.k,
+            skyband=(
+                _ArchivingSkyband(self.options.k, archive)
+                if checkpointable
+                else SkybandSet(self.options.k)
+            ),
+            archive=archive,
+        )
         if self.options.k > 1:
             self.stats.extra["k"] = self.options.k
         self.n = query.size
         self.bounds = LowerBounds.disabled(self.n)
-        self.dest_dist: dict[int, float] | None = None
-        self._qb: list[tuple[tuple, int, PartialRoute]] = []
-        self._serial = itertools.count()
         self._priority = policy_for(self.options.priority_queue)
-        self._cache: dict[tuple[int, int], PoICandidateSearch] = {}
         self._use_cache = self.options.caching and query.disjoint_trees
         self._first_radius_recorded = False
+        self._started = False
         self.precomputed_bounds: LowerBounds | None = None
+
+    # Convenience views over the state ---------------------------------
+
+    @property
+    def skyline(self) -> SkybandSet:
+        return self.state.skyband
+
+    @property
+    def dest_dist(self) -> dict[int, float] | None:
+        return self.state.dest_dist
 
     # ------------------------------------------------------------------
 
-    def execute(self) -> tuple[list[SkylineRoute], SearchStats]:
+    def run(self) -> tuple[list[SkylineRoute], SearchStats]:
+        """Execute the search for ``options.k``; checkpoint at the end."""
+        if self._started:
+            raise AlgorithmError("BSSRSearch.run() may only be called once")
+        self._started = True
         started = perf_counter()
         if any(spec.num_candidates == 0 for spec in self.query.specs):
             # Some position admits no PoI at all: no sequenced route exists.
@@ -116,7 +254,7 @@ class _BSSRRun:
             return [], self.stats
 
         if self.query.destination is not None:
-            self.dest_dist = dijkstra(
+            self.state.dest_dist = dijkstra(
                 self.network, self.query.destination, reverse=True
             )  # type: ignore[assignment]
 
@@ -145,15 +283,8 @@ class _BSSRRun:
             self.stats.sum_lp = self.bounds.suffix_lp[1]
             self.stats.extra["preprocessed_bounds"] = True
         else:
-            self.bounds = compute_lower_bounds(
-                self.network,
-                self.query,
-                self.skyline,
-                enabled=self.options.lower_bounds,
-                perfect_enabled=self.options.effective_perfect_bound(),
-                dest_dist=self.dest_dist,
-                stats=self.stats,
-            )
+            self._compute_bounds()
+        self.state.bounds = self.bounds
 
         empty = PartialRoute(
             pois=(),
@@ -162,23 +293,109 @@ class _BSSRRun:
             sem_state=self.aggregator.initial(self.n),
             sims=(),
         )
-        self._expand(empty)
+        self._expand(empty, 0)
+        self._drain()
+        self._finish(started)
+        return self.skyline.routes(), self.stats
+
+    def resume(self, k: int) -> tuple[list[SkylineRoute], SearchStats]:
+        """Widen the checkpointed search to ``k`` and continue.
+
+        Rebuilds the skyband from the archive at the larger ``k``,
+        recomputes the lower bounds (the ``l̄(ϕ)`` ball grows with the
+        k-th perfect length), re-enqueues every deferred route, and
+        drains the queue under the relaxed thresholds.  Returns the full
+        widened skyband plus the stats of *this leg only*, so callers
+        can compare resume cost against a from-scratch run.
+        """
+        if not self.checkpointable:
+            raise AlgorithmError(
+                "this search was run without checkpointing "
+                "(checkpointable=False); it cannot resume"
+            )
+        if not self._started:
+            raise AlgorithmError("resume() requires a completed run() first")
+        if k < self.state.k:
+            raise QueryError(
+                f"cannot narrow a checkpointed search from k="
+                f"{self.state.k} to k={k}"
+            )
+        started = perf_counter()
+        state = self.state
+        state.resumes += 1
+        self.stats = SearchStats(algorithm="bssr")
+        self.stats.extra["k"] = k
+        self.stats.extra["resumed_from_k"] = state.k
+        self.stats.extra["resumes"] = state.resumes
+        if k == state.k or state.exhausted:
+            # Nothing can change: same thresholds, or the archive
+            # already holds every route in existence.
+            state.k = k
+            state.skyband = self._rebuild_skyband(k)
+            self._finish(started)
+            return self.skyline.routes(), self.stats
+        state.k = k
+        state.skyband = self._rebuild_skyband(k)
+        # The ball radius l̄(ϕ) grew with k: pass-1 bounds may overprune
+        # routes that only the wider skyband admits, so recompute.
+        if self.state.bounds is not None and not self.options.lower_bounds:
+            self.bounds = self.state.bounds  # disabled bounds stay valid
+        else:
+            self._compute_bounds()
+        self.state.bounds = self.bounds
+        deferred, state.deferred = state.deferred, []
+        for item in deferred:
+            self._push(item.route, item.consumed)
+        self.stats.extra["deferred_replayed"] = len(deferred)
+        self._drain()
+        self._finish(started)
+        return self.skyline.routes(), self.stats
+
+    # ------------------------------------------------------------------
+
+    def _compute_bounds(self) -> None:
+        self.bounds = compute_lower_bounds(
+            self.network,
+            self.query,
+            self.skyline,
+            enabled=self.options.lower_bounds,
+            perfect_enabled=self.options.effective_perfect_bound(),
+            dest_dist=self.dest_dist,
+            stats=self.stats,
+        )
+
+    def _rebuild_skyband(self, k: int) -> _ArchivingSkyband:
+        """The k-skyband of everything completed so far.
+
+        Order-independent thanks to the deterministic equivalence
+        collapse, so iterating the archive in any order is exact.
+        """
+        band = _ArchivingSkyband(k, self.state.archive)
+        for route in sorted(
+            list(self.state.archive.values()),
+            key=lambda r: (r.length, r.semantic, r.pois),
+        ):
+            band.update(route)
+        return band
+
+    def _drain(self) -> None:
+        """The main loop: pop, prune-or-expand, until the queue empties."""
+        queue = self.state.queue
         limit = self.options.max_routes_expanded
-        while self._qb:
-            _, _, route = heapq.heappop(self._qb)
+        while queue:
+            _, _, route, consumed = heapq.heappop(queue)
             if self._prunable(
                 route.length, route.semantic, route.sem_state, route.size
             ):
                 self.stats.routes_pruned_on_pop += 1
+                self._defer(route, consumed)
                 continue
             self.stats.routes_expanded += 1
             if limit is not None and self.stats.routes_expanded > limit:
                 raise AlgorithmError(
                     f"BSSR exceeded max_routes_expanded={limit}"
                 )
-            self._expand(route)
-        self._finish(started)
-        return self.skyline.routes(), self.stats
+            self._expand(route, consumed)
 
     def _finish(self, started: float) -> None:
         self.stats.elapsed = perf_counter() - started
@@ -215,13 +432,22 @@ class _BSSRRun:
                     return True
         return False
 
-    def _push(self, route: PartialRoute) -> None:
+    def _defer(self, route: PartialRoute, consumed: int = 0) -> None:
+        """Park rejected work for a potential future resume (dropped
+        outright when the search is not checkpointable)."""
+        if not self.checkpointable:
+            return
+        self.state.deferred.append(_Deferred(route, consumed))
+        self.stats.routes_deferred += 1
+
+    def _push(self, route: PartialRoute, consumed: int = 0) -> None:
         heapq.heappush(
-            self._qb, (self._priority(route), next(self._serial), route)
+            self.state.queue,
+            (self._priority(route), self.state.next_serial(), route, consumed),
         )
         self.stats.routes_enqueued += 1
-        if len(self._qb) > self.stats.max_queue_size:
-            self.stats.max_queue_size = len(self._qb)
+        if len(self.state.queue) > self.stats.max_queue_size:
+            self.stats.max_queue_size = len(self.state.queue)
 
     def _candidate_search(
         self, route: PartialRoute, position: int
@@ -230,7 +456,7 @@ class _BSSRRun:
         spec = self.query.specs[position]
         if self._use_cache:
             key = (source, position)
-            search = self._cache.get(key)
+            search = self.state.cache.get(key)
             if search is not None:
                 self.stats.cache_hits += 1
                 self.stats.mdijkstra_resumes += 1
@@ -238,7 +464,7 @@ class _BSSRRun:
             search = PoICandidateSearch(
                 self.network, spec, source, stats=self.stats
             )
-            self._cache[key] = search
+            self.state.cache[key] = search
             self.stats.mdijkstra_runs += 1
             return search
         search = PoICandidateSearch(
@@ -251,8 +477,14 @@ class _BSSRRun:
         self.stats.mdijkstra_runs += 1
         return search
 
-    def _expand(self, route: PartialRoute) -> None:
-        """Algorithm 1 lines 7–9: extend ``route`` at its next position."""
+    def _expand(self, route: PartialRoute, consumed: int = 0) -> None:
+        """Algorithm 1 lines 7–9: extend ``route`` at its next position.
+
+        ``consumed`` skips candidates a previous pass already processed
+        (deterministic stream order makes the offset exact).  If the
+        budget cuts the stream short, the route is deferred with its
+        new offset so a resumed search picks up the remainder.
+        """
         position = route.size
         search = self._candidate_search(route, position)
         new_size = position + 1
@@ -270,7 +502,9 @@ class _BSSRRun:
                 - suffix_next
             )
 
-        for d, vid, sim in search.candidates_until(budget):
+        index = consumed
+        for d, vid, sim in search.candidates_until(budget, start=consumed):
+            index += 1
             if vid in route.pois:
                 continue  # distinctness (Definition 3.4 iii)
             state = aggregator.extend(route.sem_state, sim)
@@ -290,19 +524,28 @@ class _BSSRRun:
                         pois=pois, length=total, semantic=semantic, sims=sims
                     )
                 )
-            elif self._prunable(length, semantic, state, new_size):
-                self.stats.routes_pruned_on_insert += 1
             else:
-                self._push(
-                    PartialRoute(
-                        pois=pois,
-                        length=length,
-                        semantic=semantic,
-                        sem_state=state,
-                        sims=sims,
-                        serial=next(self._serial),
-                    )
+                child = PartialRoute(
+                    pois=pois,
+                    length=length,
+                    semantic=semantic,
+                    sem_state=state,
+                    sims=sims,
+                    serial=self.state.next_serial(),
                 )
+                if self._prunable(length, semantic, state, new_size):
+                    self.stats.routes_pruned_on_insert += 1
+                    self._defer(child)
+                else:
+                    self._push(child)
+        if index < len(search.candidates) or not search.exhausted:
+            # The budget cut the stream: park the prefix so a wider
+            # search can resume it exactly where this pass stopped.
+            self._defer(route, index)
         if not self._first_radius_recorded:
             self.stats.first_search_radius = search.radius
             self._first_radius_recorded = True
+
+
+#: backwards-compatible alias (pre-refactor internal name)
+_BSSRRun = BSSRSearch

@@ -1,0 +1,167 @@
+"""Diversity re-ranking of top-k route alternatives.
+
+Route recommendation lists are only useful when the alternatives are
+*different* — PathRec (Chen et al.) observes that near-duplicates of
+rank 1 carry almost no extra information for the user.  The k-skyband
+retained by a top-k query holds everything needed to fix this after
+the fact: this module re-orders a ranked alternative list with a
+greedy MMR-style (maximal marginal relevance) selection that trades
+the original rank order against dissimilarity to the routes already
+picked.
+
+Two route-overlap signals feed the penalty:
+
+* **PoI overlap** — Jaccard similarity of the PoI id sets (two routes
+  visiting the same stops are near-duplicates no matter the geometry);
+* **shared geometry** — Jaccard similarity of the directed leg sets
+  (consecutive PoI pairs, plus the start leg), a cheap proxy for "the
+  user walks the same streets".
+
+The combined similarity is a convex mix of the two.  Selection scores
+are the classic MMR form
+
+    score(r) = (1 - λ) · relevance(r) − λ · max_{s ∈ selected} sim(r, s)
+
+with ``relevance`` strictly decreasing in the input rank.  Two
+contracts the property tests pin down:
+
+* ``λ = 0`` is the **identity permutation** — relevance alone decides,
+  so the input order is returned unchanged;
+* the output is always a subset of the input (re-ranking never invents
+  routes, so it can never leave the skyband it was fed from).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.routes import SkylineRoute
+from repro.errors import QueryError
+
+#: default trade-off between original rank and diversity
+DEFAULT_LAMBDA = 0.5
+
+#: default mix between shared-geometry and PoI-overlap similarity
+DEFAULT_GEOMETRY_WEIGHT = 0.5
+
+
+def validate_lambda(diversity_lambda: float) -> float:
+    """Validate an MMR trade-off value (``0 ≤ λ ≤ 1``)."""
+    if not 0.0 <= diversity_lambda <= 1.0:
+        raise QueryError(
+            f"diversity_lambda must be within [0, 1], got {diversity_lambda}"
+        )
+    return diversity_lambda
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def poi_jaccard(a: SkylineRoute, b: SkylineRoute) -> float:
+    """Jaccard similarity of the two routes' PoI id sets."""
+    return _jaccard(frozenset(a.pois), frozenset(b.pois))
+
+
+def _legs(route: SkylineRoute, start: int | None) -> frozenset:
+    chain = route.pois if start is None else (start, *route.pois)
+    return frozenset(zip(chain, chain[1:]))
+
+
+def segment_jaccard(
+    a: SkylineRoute, b: SkylineRoute, *, start: int | None = None
+) -> float:
+    """Jaccard similarity of the directed leg sets (shared geometry).
+
+    A leg is a consecutive PoI pair; passing ``start`` includes the
+    common first leg from the query origin, matching what a user sees
+    drawn on the map.
+    """
+    return _jaccard(_legs(a, start), _legs(b, start))
+
+
+def route_similarity(
+    a: SkylineRoute,
+    b: SkylineRoute,
+    *,
+    start: int | None = None,
+    geometry_weight: float = DEFAULT_GEOMETRY_WEIGHT,
+) -> float:
+    """Combined route similarity in ``[0, 1]``.
+
+    A convex mix of shared geometry (weight ``geometry_weight``) and
+    PoI overlap (the remainder).  1.0 means indistinguishable
+    alternatives; 0.0 means fully disjoint stops and legs.
+    """
+    return geometry_weight * segment_jaccard(a, b, start=start) + (
+        1.0 - geometry_weight
+    ) * poi_jaccard(a, b)
+
+
+def diversify(
+    candidates: Sequence[SkylineRoute],
+    k: int | None = None,
+    *,
+    diversity_lambda: float = DEFAULT_LAMBDA,
+    selected: Sequence[SkylineRoute] = (),
+    start: int | None = None,
+    geometry_weight: float = DEFAULT_GEOMETRY_WEIGHT,
+) -> list[SkylineRoute]:
+    """Greedy MMR selection of up to ``k`` diverse routes.
+
+    ``candidates`` must already be in relevance order (the
+    :func:`~repro.core.dominance.rank_routes` presentation); the first
+    entry therefore has the highest relevance and — with nothing
+    selected yet — always opens the output, so the skyline's shortest
+    route keeps rank 1 at every λ.
+
+    ``selected`` carries routes chosen by *earlier* pages of a
+    paginated session: the new page diversifies against what the user
+    has already seen without re-emitting it.
+
+    ``λ = 0`` returns ``candidates[:k]`` unchanged (identity
+    permutation); ``λ = 1`` ignores relevance beyond tie-breaks and
+    maximizes dissimilarity.  The output is always a permutation of a
+    subset of ``candidates`` — never a route from anywhere else.
+    """
+    validate_lambda(diversity_lambda)
+    pool = list(candidates)
+    k = len(pool) if k is None else min(k, len(pool))
+    if k <= 0:
+        return []
+    if diversity_lambda == 0.0:
+        return pool[:k]
+    chosen_ctx = list(selected)
+    out: list[SkylineRoute] = []
+    remaining = list(enumerate(pool))  # (original rank index, route)
+    denom = max(len(pool), 1)
+    while remaining and len(out) < k:
+        best_pos = 0
+        best_score = -float("inf")
+        for pos, (rank, route) in enumerate(remaining):
+            relevance = 1.0 - rank / denom  # strictly decreasing in rank
+            penalty = max(
+                (
+                    route_similarity(
+                        route,
+                        other,
+                        start=start,
+                        geometry_weight=geometry_weight,
+                    )
+                    for other in chosen_ctx
+                ),
+                default=0.0,
+            )
+            score = (1.0 - diversity_lambda) * relevance - (
+                diversity_lambda * penalty
+            )
+            if score > best_score:  # ties keep the earliest (best rank)
+                best_score = score
+                best_pos = pos
+        _, route = remaining.pop(best_pos)
+        out.append(route)
+        chosen_ctx.append(route)
+    return out

@@ -45,9 +45,9 @@ def equivalent(a: tuple[float, float], b: tuple[float, float]) -> bool:
 def skyline_filter(routes: list[SkylineRoute]) -> list[SkylineRoute]:
     """Minimal skyline set of an arbitrary route collection.
 
-    Equivalent routes are collapsed to the first encountered (the
-    minimal-set rule of Definition 4.1).  Returns routes sorted by
-    length ascending.
+    Equivalent routes are collapsed to the one with lexicographically
+    smallest PoI ids (the minimal-set rule of Definition 4.1, made
+    deterministic).  Returns routes sorted by length ascending.
     """
     result = SkylineSet()
     for route in routes:
@@ -80,17 +80,33 @@ def dominance_depths(routes: Sequence[SkylineRoute]) -> list[int]:
 def rank_routes(
     routes: Sequence[SkylineRoute], k: int | None = None
 ) -> list[SkylineRoute]:
-    """Rank alternatives: dominance depth, then length, then semantic.
+    """Rank alternatives: dominance depth, then length, then semantic,
+    then lexicographic PoI ids.
 
     Rank 1 is therefore always the globally shortest route (nothing can
     dominate the minimum-length member), matching the single-answer
     BSSR presentation; deeper layers supply the "next best"
     alternatives.  ``k`` truncates the ranked list.
+
+    The final ``pois`` component makes the order *total and
+    deterministic*: equal-score routes (which can only coexist in the
+    input when it was not dominance-collapsed) are presented in
+    lexicographic PoI-id order, so ranked output never depends on
+    enumeration order.  Because dominance depth is preserved under
+    skyband widening (a dominator always has strictly smaller depth),
+    this order is also *prefix-stable*: the top-k of a (k')-skyband
+    ranking, k ≤ k', equals the full ranking of the k-skyband — the
+    contract resumable pagination relies on.
     """
     depths = dominance_depths(routes)
     order = sorted(
         range(len(routes)),
-        key=lambda i: (depths[i], routes[i].length, routes[i].semantic),
+        key=lambda i: (
+            depths[i],
+            routes[i].length,
+            routes[i].semantic,
+            routes[i].pois,
+        ),
     )
     ranked = [routes[i] for i in order]
     return ranked if k is None else ranked[:k]
@@ -100,9 +116,11 @@ class SkybandSet:
     """The evolving k-skyband ``S_k`` of sequenced routes.
 
     A route is a member iff fewer than ``k`` members dominate it; exact
-    score duplicates are collapsed to the first encountered, mirroring
-    the minimal-set rule of Definition 4.1.  ``k = 1`` reduces to the
-    paper's skyline set (see :class:`SkylineSet`).
+    score duplicates are collapsed to the lexicographically smallest
+    PoI sequence, mirroring the minimal-set rule of Definition 4.1 with
+    a deterministic, insertion-order-independent representative.
+    ``k = 1`` reduces to the paper's skyline set (see
+    :class:`SkylineSet`).
 
     Supports the three operations BSSR needs:
 
@@ -143,12 +161,26 @@ class SkybandSet:
 
     def update(self, route: SkylineRoute) -> bool:
         """Insert ``route`` unless equivalent to a member or dominated
-        by ``k`` of them; True if kept."""
+        by ``k`` of them; True if kept.
+
+        Equivalence collapse is deterministic: among equal-score
+        routes the member with the lexicographically smallest ``pois``
+        tuple is retained, so the surviving representative never
+        depends on the order routes were discovered in.
+        """
+        key = (route.length, route.semantic)
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            # Equivalent member found: keep the lexicographically
+            # smallest PoI sequence (deterministic tie-break), but the
+            # candidate never *joins* the set.
+            if route.pois < self._entries[idx].pois:
+                self._entries[idx] = route
+            self.rejects += 1
+            return False
         if self.dominated_or_equal(route.length, route.semantic):
             self.rejects += 1
             return False
-        key = (route.length, route.semantic)
-        idx = bisect.bisect_left(self._keys, key)
         self._keys.insert(idx, key)
         self._entries.insert(idx, route)
         # Only the newcomer gained anyone a dominator: recount members

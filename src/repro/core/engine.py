@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.bssr import run_bssr
+from repro.core.diversity import diversify
 from repro.core.dominance import rank_routes
 from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
@@ -103,13 +104,33 @@ class SkySRResult:
     def topk(self, k: int | None = None) -> list[SkylineRoute]:
         """Up to ``k`` ranked alternatives from the skyband.
 
-        Ranked by dominance depth, then length, then semantic score, so
+        Ranked by dominance depth, then length, then semantic score
+        (ties broken deterministically by lexicographic PoI ids), so
         the first entry is always the skyline's shortest route — for
         ``k = 1`` this is exactly ``[self.shortest]``.  ``k`` defaults
         to the ``k`` the query was answered with; ask for less, or (up
         to the skyband size) more.
         """
         return rank_routes(self.skyband, self.k if k is None else k)
+
+    def diversified(
+        self, k: int | None = None, *, diversity_lambda: float = 0.5
+    ) -> list[SkylineRoute]:
+        """Up to ``k`` alternatives, MMR-re-ranked for diversity.
+
+        Greedy selection over the *entire* retained skyband (not just
+        the top-k truncation — a lower-ranked but disjoint alternative
+        can displace a near-duplicate of rank 1), penalizing PoI
+        overlap and shared geometry with already-picked routes (see
+        :mod:`repro.core.diversity`).  ``diversity_lambda = 0`` returns
+        :meth:`topk` unchanged.
+        """
+        return diversify(
+            rank_routes(self.skyband),
+            k if k is not None else self.k,
+            diversity_lambda=diversity_lambda,
+            start=self.start,
+        )
 
     def poi_category_names(self, route: SkylineRoute) -> list[str]:
         """Own-category names of the route's PoIs (first category each)."""
@@ -139,9 +160,18 @@ class SkySRResult:
 
     def to_ranked_table(self, k: int | None = None) -> str:
         """Ranked-alternatives rendering of :meth:`topk`."""
+        return self._ranked_lines(self.topk(k), first_rank=1)
+
+    def to_page_table(self, first_rank: int = 1) -> str:
+        """Render ``routes`` as-is with global ranks (session pages)."""
+        return self._ranked_lines(self.routes, first_rank=first_rank)
+
+    def _ranked_lines(
+        self, routes: list[SkylineRoute], *, first_rank: int
+    ) -> str:
         header = f"{'rank':>4}  {'distance':>10}  {'semantic':>10}  route"
         lines = [header]
-        for rank, route in enumerate(self.topk(k), start=1):
+        for rank, route in enumerate(routes, start=first_rank):
             chain = " -> ".join(self.poi_category_names(route))
             lines.append(
                 f"{rank:>4}  {route.length:>10.4f}  "
@@ -318,7 +348,42 @@ class SkySREngine:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
-        return self._result(routes, stats, compiled, algorithm, k=k)
+        return self._result(
+            routes,
+            stats,
+            compiled,
+            algorithm,
+            k=k,
+            diversity_lambda=opts.diversity_lambda,
+        )
+
+    def session(
+        self,
+        start: int,
+        categories: list,
+        *,
+        destination: int | None = None,
+        page_size: int | None = None,
+        diversity_lambda: float | None = None,
+        options: BSSROptions | None = None,
+    ):
+        """Open a resumable :class:`~repro.core.session.PlanningSession`.
+
+        The session pages through ranked alternatives by checkpointing
+        and resuming the k-skyband search (see
+        :mod:`repro.core.session`) instead of recomputing per page.
+        """
+        from repro.core.session import PlanningSession
+
+        return PlanningSession(
+            self,
+            start,
+            categories,
+            destination=destination,
+            page_size=page_size,
+            diversity_lambda=diversity_lambda,
+            options=options,
+        )
 
     # ------------------------------------------------------------------
 
@@ -345,13 +410,25 @@ class SkySREngine:
         algorithm: str,
         *,
         k: int = 1,
+        diversity_lambda: float = 0.0,
     ) -> SkySRResult:
         # ``routes`` arrives length-sorted from the algorithms.  A plain
         # skyline query returns it as-is; a top-k query presents the
-        # ranked truncation and keeps the full skyband alongside.
+        # ranked truncation (MMR-diversified when requested) and keeps
+        # the full skyband alongside.
         skyband = list(routes)
         if k > 1:
-            routes = rank_routes(skyband, k)
+            if diversity_lambda > 0.0:
+                # MMR selects from the whole retained skyband so a
+                # lower-ranked but disjoint route can make the cut.
+                routes = diversify(
+                    rank_routes(skyband),
+                    k,
+                    diversity_lambda=diversity_lambda,
+                    start=compiled.start,
+                )
+            else:
+                routes = rank_routes(skyband, k)
         return SkySRResult(
             routes=routes,
             stats=stats,

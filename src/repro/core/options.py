@@ -40,6 +40,14 @@ class BSSROptions:
             to ``k`` ranked alternatives via
             :meth:`~repro.core.engine.SkySRResult.topk`.  ``k = 1``
             (default) is the paper's plain skyline query.
+        page_size: default page size for resumable
+            :class:`~repro.core.session.PlanningSession` pagination;
+            ``None`` falls back to ``k``.  Sessions serve ranks
+            ``1..page_size`` first and resume the checkpointed search
+            for each further page.
+        diversity_lambda: MMR trade-off for diversity re-ranking of
+            top-k alternatives (``0`` = pure rank order, the default
+            and the exact-pagination mode; ``1`` = pure dissimilarity).
         max_routes_expanded: optional safety valve for interactive
             services; ``None`` (default) never truncates.  When hit, the
             query raises :class:`~repro.errors.AlgorithmError`.
@@ -51,11 +59,22 @@ class BSSROptions:
     perfect_match_bound: bool = True
     caching: bool = True
     k: int = 1
+    page_size: int | None = None
+    diversity_lambda: float = 0.0
     max_routes_expanded: int | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise QueryError(f"top-k requires k >= 1, got {self.k}")
+        if self.page_size is not None and self.page_size < 1:
+            raise QueryError(
+                f"page_size requires a positive size, got {self.page_size}"
+            )
+        if not 0.0 <= self.diversity_lambda <= 1.0:
+            raise QueryError(
+                "diversity_lambda must be within [0, 1], got "
+                f"{self.diversity_lambda}"
+            )
 
     @classmethod
     def all_enabled(cls) -> "BSSROptions":

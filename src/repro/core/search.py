@@ -150,7 +150,7 @@ class PoICandidateSearch:
     # ------------------------------------------------------------------
 
     def candidates_until(
-        self, budget: Callable[[], float] | float
+        self, budget: Callable[[], float] | float, *, start: int = 0
     ) -> Iterator[tuple[float, int, float]]:
         """Yield candidates with distance < budget, expanding on demand.
 
@@ -159,11 +159,19 @@ class PoICandidateSearch:
         serves consumers with different budgets.  Already-discovered
         candidates are replayed first; the underlying Dijkstra resumes
         only when the budget allows settling farther vertices.
+
+        ``start`` skips the first ``start`` candidates of the stream —
+        a consumer that previously stopped after consuming that many
+        (the checkpoint/resume machinery of
+        :class:`~repro.core.bssr.SearchState`) continues exactly where
+        it left off.  Candidate order is deterministic (distance, then
+        the heap's vertex-id tie-break), so the offset is meaningful
+        even on a freshly rebuilt search instance.
         """
         budget_fn: Callable[[], float] = (
             budget if callable(budget) else (lambda: budget)  # type: ignore[assignment]
         )
-        i = 0
+        i = start
         while True:
             while i < len(self.candidates):
                 entry = self.candidates[i]

@@ -36,6 +36,9 @@ class SearchStats:
     routes_expanded: int = 0
     routes_pruned_on_pop: int = 0
     routes_pruned_on_insert: int = 0
+    #: pruned or budget-truncated routes parked for a later resume
+    #: (checkpointable search state) instead of being discarded
+    routes_deferred: int = 0
     max_queue_size: int = 0
 
     # skyline set
@@ -90,6 +93,7 @@ class SearchStats:
             "routes_expanded",
             "routes_pruned_on_pop",
             "routes_pruned_on_insert",
+            "routes_deferred",
             "skyline_updates",
             "skyline_rejects",
             "result_size",
@@ -129,6 +133,7 @@ def mean_stats(all_stats: list[SearchStats]) -> SearchStats:
         "routes_expanded",
         "routes_pruned_on_pop",
         "routes_pruned_on_insert",
+        "routes_deferred",
         "skyline_updates",
         "skyline_rejects",
         "result_size",

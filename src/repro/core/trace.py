@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.bssr import _BSSRRun
+from repro.core.bssr import BSSRSearch
 from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
 from repro.core.spec import CompiledQuery
@@ -54,7 +54,7 @@ def _chain(pois: tuple[int, ...]) -> str:
     return "⟨" + ",".join(str(p) for p in pois) + "⟩"
 
 
-class _TracingRun(_BSSRRun):
+class _TracingRun(BSSRSearch):
     """A BSSR run that records a TraceStep per queue pop."""
 
     def __init__(self, *args, **kwargs) -> None:
@@ -69,13 +69,16 @@ class _TracingRun(_BSSRRun):
                 step=self._step_counter,
                 action=action,
                 route=route,
-                queue=[entry[2].pois for entry in sorted(self._qb)],
+                queue=[
+                    entry[2].pois
+                    for entry in sorted(self.state.queue, key=lambda e: e[:2])
+                ],
                 skyline=self.skyline.routes(),
             )
         )
 
-    def _expand(self, route) -> None:  # type: ignore[override]
-        super()._expand(route)
+    def _expand(self, route, consumed: int = 0) -> None:  # type: ignore[override]
+        super()._expand(route, consumed)
         self._snapshot("init" if not route.pois else "expand", route.pois)
 
 
@@ -88,7 +91,7 @@ def trace_bssr(
 ) -> tuple[list[SkylineRoute], SearchStats, list[TraceStep]]:
     """Run BSSR and record a Table-4-style step trace."""
     runner = _TracingRun(network, query, aggregator, options)
-    routes, stats = runner.execute()
+    routes, stats = runner.run()
     return routes, stats, runner.steps
 
 

@@ -24,6 +24,13 @@ class QueryError(ReproError):
     """Malformed SkySR queries (empty sequence, unknown start vertex)."""
 
 
+class AdmissionError(QueryError):
+    """Per-request admission control rejected the query (e.g. a
+    requested ``k`` or session budget above the service's configured
+    cap).  A subclass of :class:`QueryError` so existing service-
+    boundary handlers keep working."""
+
+
 class DataError(ReproError):
     """Dataset generation or (de)serialization errors."""
 

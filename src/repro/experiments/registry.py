@@ -9,6 +9,7 @@ from repro.experiments import (
     figure4,
     figure5,
     figure6,
+    pagination,
     table1,
     table4,
     table5,
@@ -33,6 +34,7 @@ _REGISTRY: dict[str, Callable[..., Report]] = {
     "figure5": figure5.run,
     "figure6": figure6.run,
     "topk": topk.run,
+    "pagination": pagination.run,
 }
 
 

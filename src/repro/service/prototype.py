@@ -10,22 +10,33 @@ simulated user study drive it, and :mod:`repro.service.geojson` turns
 its answers into map-ready payloads.
 
 Production route services return *ranked alternatives*, not a single
-answer set: :meth:`SkySRService.plan` accepts a per-request ``k``
-(top-k alternatives from the k-skyband), and
-:meth:`SkySRService.plan_batch` / :meth:`SkySRService.batch_geojson`
-answer many requests in one call, the latter as map-ready GeoJSON —
-the shape of the prototype's HTTP batch endpoint.
+answer set, and they page: :meth:`SkySRService.plan` accepts a
+per-request ``k`` (top-k alternatives from the k-skyband),
+:meth:`SkySRService.create_session` / :meth:`SkySRService.next_page`
+expose resumable pagination (ranks ``k+1..2k`` continue the
+checkpointed search instead of recomputing — see
+:mod:`repro.core.session`), and :meth:`SkySRService.plan_batch` /
+:meth:`SkySRService.batch_geojson` answer many requests in one call,
+the latter as map-ready GeoJSON — the shape of the prototype's HTTP
+batch endpoint.  Batch entries may create or resume sessions inline.
+
+Under load a service must also say *no*: the ``max_k`` /
+``max_session_routes`` knobs are per-request admission control —
+requests above the caps are rejected with
+:class:`~repro.errors.AdmissionError` before any search work is done.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.core.engine import SkySREngine, SkySRResult
 from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
+from repro.core.session import PlanningSession
 from repro.datasets.paper_example import Dataset
-from repro.errors import QueryError
+from repro.errors import AdmissionError, QueryError
 from repro.graph.spatial import nearest_vertex
 
 
@@ -47,18 +58,27 @@ class RouteCard:
 
 @dataclass
 class ServiceResponse:
-    """A full service answer: cards plus the raw engine result."""
+    """A full service answer: cards plus the raw engine result.
+
+    Session-backed answers also carry the session id and page number so
+    a client can keep paging; ``exhausted`` tells it when to stop.
+    """
 
     query: list[str]
     start: int
     cards: list[RouteCard]
     result: SkySRResult = field(repr=False)
+    session_id: str | None = None
+    page: int | None = None
+    exhausted: bool | None = None
 
     def best(self) -> RouteCard | None:
         return self.cards[0] if self.cards else None
 
     def render_text(self) -> str:
         lines = [f"Routes for: {' -> '.join(self.query)}"]
+        if self.session_id is not None:
+            lines[0] += f"  (session {self.session_id}, page {self.page})"
         if not self.cards:
             lines.append("  (no feasible route)")
         lines.extend("  " + card.headline() for card in self.cards)
@@ -66,7 +86,19 @@ class ServiceResponse:
 
 
 class SkySRService:
-    """User-facing facade over one dataset (Section 8 prototype)."""
+    """User-facing facade over one dataset (Section 8 prototype).
+
+    Args:
+        dataset: the served city.
+        options: engine-wide BSSR options.
+        max_routes: presentation cap on cards per response.
+        max_k: admission cap — any request asking for more than this
+            many alternatives at once (``k`` or a session
+            ``page_size``) is rejected with
+            :class:`~repro.errors.AdmissionError`.
+        max_session_routes: admission cap on the *cumulative* routes a
+            single session may enumerate across all its pages.
+    """
 
     def __init__(
         self,
@@ -74,12 +106,43 @@ class SkySRService:
         *,
         options: BSSROptions | None = None,
         max_routes: int | None = None,
+        max_k: int | None = None,
+        max_session_routes: int | None = None,
     ) -> None:
         self.dataset = dataset
         self.engine = SkySREngine(
             dataset.network, dataset.forest, options=options
         )
         self.max_routes = max_routes
+        self.max_k = max_k
+        self.max_session_routes = max_session_routes
+        self._sessions: dict[str, PlanningSession] = {}
+        self._session_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # admission control
+
+    def _admit_k(self, k: int | None, *, what: str = "k") -> None:
+        if k is not None and k < 1:
+            raise QueryError(f"{what} must be >= 1, got {k}")
+        if self.max_k is not None and k is not None and k > self.max_k:
+            raise AdmissionError(
+                f"requested {what}={k} exceeds this service's cap of "
+                f"{self.max_k} alternatives per request"
+            )
+
+    def _admit_session_budget(
+        self, session: PlanningSession, n: int
+    ) -> None:
+        cap = self.max_session_routes
+        if cap is not None and len(session.served) + n > cap:
+            raise AdmissionError(
+                f"session budget exhausted: serving {n} more routes "
+                f"would exceed the cap of {cap} per session"
+            )
+
+    # ------------------------------------------------------------------
+    # one-shot planning
 
     def plan(
         self,
@@ -90,6 +153,7 @@ class SkySRService:
         destination: int | None = None,
         ordered: bool = True,
         k: int | None = None,
+        diversity_lambda: float | None = None,
     ) -> ServiceResponse:
         """Answer one trip request.
 
@@ -97,15 +161,19 @@ class SkySRService:
         which is snapped to the closest network vertex, as the paper's
         web prototype does with a map click.  ``k`` asks for up to
         ``k`` ranked alternatives (the top-k sequenced route query)
-        instead of the plain skyline.
+        instead of the plain skyline; ``diversity_lambda`` re-ranks
+        them for diversity (see :mod:`repro.core.diversity`).
         """
-        if start is None:
-            if near is None:
-                raise QueryError("plan() needs a start vertex or a location")
-            start = nearest_vertex(self.dataset.network, near)
+        self._admit_k(k)
+        start = self._resolve_start(start, near)
         options = None
+        overrides = {}
         if k is not None:
-            options = (self.engine.options or BSSROptions()).but(k=k)
+            overrides["k"] = k
+        if diversity_lambda is not None:
+            overrides["diversity_lambda"] = diversity_lambda
+        if overrides:
+            options = (self.engine.options or BSSROptions()).but(**overrides)
         result = self.engine.query(
             start,
             list(categories),
@@ -113,15 +181,78 @@ class SkySRService:
             ordered=ordered,
             options=options,
         )
-        cards = self._cards(result)
-        if self.max_routes is not None:
-            cards = cards[: self.max_routes]
         return ServiceResponse(
             query=[str(c) for c in categories],
             start=start,
-            cards=cards,
+            cards=self._capped(self._cards(result)),
             result=result,
         )
+
+    # ------------------------------------------------------------------
+    # resumable sessions
+
+    def create_session(
+        self,
+        categories: list[str],
+        *,
+        start: int | None = None,
+        near: tuple[float, float] | None = None,
+        destination: int | None = None,
+        page_size: int | None = None,
+        diversity_lambda: float | None = None,
+    ) -> str:
+        """Open a paging session; returns its id (no search runs yet).
+
+        The first :meth:`next_page` call executes the initial search;
+        every further call resumes the checkpointed state for the next
+        ranks.  ``page_size`` is admission-checked against ``max_k``.
+        """
+        self._admit_k(page_size, what="page_size")
+        start = self._resolve_start(start, near)
+        session = self.engine.session(
+            start,
+            list(categories),
+            destination=destination,
+            page_size=page_size,
+            diversity_lambda=diversity_lambda,
+        )
+        session_id = f"sess-{next(self._session_ids)}"
+        self._sessions[session_id] = session
+        return session_id
+
+    def get_session(self, session_id: str) -> PlanningSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise QueryError(f"unknown session {session_id!r}") from None
+
+    def next_page(
+        self, session_id: str, n: int | None = None
+    ) -> ServiceResponse:
+        """Serve (and advance to) the next page of a session."""
+        session = self.get_session(session_id)
+        self._admit_k(n, what="page size n")
+        self._admit_session_budget(session, n or session.page_size)
+        page = session.next_page(n)
+        result = session.to_result(page)
+        return ServiceResponse(
+            query=session.compiled.labels(),
+            start=session.compiled.start,
+            cards=self._capped(
+                self._cards(result, first_rank=page.first_rank)
+            ),
+            result=result,
+            session_id=session_id,
+            page=page.number,
+            exhausted=page.exhausted,
+        )
+
+    def close_session(self, session_id: str) -> None:
+        """Drop a session's checkpointed state."""
+        self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    # batch endpoints
 
     def plan_batch(
         self,
@@ -133,12 +264,40 @@ class SkySRService:
 
         Each request is a dict of :meth:`plan` keyword arguments plus
         the mandatory ``categories``; a per-request ``k`` overrides the
-        batch-wide one.
+        batch-wide one.  Two session forms ride along:
+
+        * ``{"session": "sess-3"}`` (optional ``n``) — resume an open
+          session and answer with its next page;
+        * ``{"categories": [...], "page_size": 3, ...}`` — create a
+          session and answer with its first page (the response carries
+          the session id for follow-ups).
         """
         responses = []
         for request in requests:
             kwargs = dict(request)
+            session_id = kwargs.pop("session", None)
+            if session_id is not None:
+                responses.append(
+                    self.next_page(session_id, kwargs.pop("n", None))
+                )
+                continue
+            page_size = kwargs.pop("page_size", None)
             categories = kwargs.pop("categories")
+            if page_size is not None:
+                allowed = {"start", "near", "destination", "diversity_lambda"}
+                unknown = set(kwargs) - allowed
+                if unknown:
+                    raise QueryError(
+                        "session batch entries (page_size) accept "
+                        f"{sorted(allowed)}; got unsupported key(s) "
+                        f"{sorted(unknown)} — one-shot options like 'k' "
+                        "or 'ordered' do not apply to sessions"
+                    )
+                sid = self.create_session(
+                    categories, page_size=page_size, **kwargs
+                )
+                responses.append(self.next_page(sid))
+                continue
             kwargs.setdefault("k", k)
             responses.append(self.plan(categories, **kwargs))
         return responses
@@ -154,7 +313,9 @@ class SkySRService:
 
         Returns one entry per request, each carrying the request echo
         and a FeatureCollection of the ranked alternatives (feature
-        ``properties.rank`` is the presentation rank).
+        ``properties.rank`` is the presentation rank).  Session-backed
+        entries echo the session id, page number, and global first
+        rank so clients can keep paging.
         """
         from repro.service.geojson import routes_to_geojson
 
@@ -164,24 +325,47 @@ class SkySRService:
             result = response.result
             # For k > 1 ``routes`` is already the ranked truncation.
             routes = result.routes
-            batch.append(
-                {
-                    "query": response.query,
-                    "start": response.start,
-                    "k": result.k,
-                    "routes": routes_to_geojson(
-                        self.dataset.network,
-                        response.start,
-                        routes,
-                        full_geometry=full_geometry,
-                    ),
-                }
-            )
+            entry = {
+                "query": response.query,
+                "start": response.start,
+                "k": result.k,
+                "routes": routes_to_geojson(
+                    self.dataset.network,
+                    response.start,
+                    routes,
+                    full_geometry=full_geometry,
+                ),
+            }
+            if response.session_id is not None:
+                entry["session"] = response.session_id
+                entry["page"] = response.page
+                entry["exhausted"] = response.exhausted
+                if response.cards:
+                    entry["first_rank"] = response.cards[0].rank
+            batch.append(entry)
         return {"type": "SkySRBatch", "responses": batch}
 
-    def _cards(self, result: SkySRResult) -> list[RouteCard]:
+    # ------------------------------------------------------------------
+
+    def _resolve_start(
+        self, start: int | None, near: tuple[float, float] | None
+    ) -> int:
+        if start is None:
+            if near is None:
+                raise QueryError("plan() needs a start vertex or a location")
+            start = nearest_vertex(self.dataset.network, near)
+        return start
+
+    def _capped(self, cards: list[RouteCard]) -> list[RouteCard]:
+        if self.max_routes is not None:
+            return cards[: self.max_routes]
+        return cards
+
+    def _cards(
+        self, result: SkySRResult, *, first_rank: int = 1
+    ) -> list[RouteCard]:
         cards = []
-        for rank, route in enumerate(result.routes, start=1):
+        for rank, route in enumerate(result.routes, start=first_rank):
             cards.append(
                 RouteCard(
                     rank=rank,

@@ -1,0 +1,211 @@
+"""Diversity re-ranking: the MMR property layer.
+
+The two satellite properties, plus similarity-measure sanity and the
+threading through engine options, sessions, and the service:
+
+* ``diversity_lambda = 0`` is the identity permutation — through
+  :func:`~repro.core.diversity.diversify` directly, through
+  ``BSSROptions``, and through session pages;
+* re-ranked lists never contain routes absent from the skyband they
+  were selected from (re-ranking permutes, never invents).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.diversity import (
+    diversify,
+    poi_jaccard,
+    route_similarity,
+    segment_jaccard,
+)
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.core.routes import SkylineRoute
+from repro.errors import QueryError
+
+from .conftest import pick_query, random_instance
+
+# ---------------------------------------------------------------------------
+# similarity measures
+
+
+def _route(*pois, length=1.0, semantic=0.0):
+    return SkylineRoute(pois=tuple(pois), length=length, semantic=semantic)
+
+
+def test_poi_jaccard_extremes():
+    a, b = _route(1, 2, 3), _route(4, 5, 6)
+    assert poi_jaccard(a, a) == 1.0
+    assert poi_jaccard(a, b) == 0.0
+    assert poi_jaccard(_route(1, 2), _route(2, 3)) == pytest.approx(1 / 3)
+
+
+def test_segment_jaccard_measures_shared_legs():
+    a, b = _route(1, 2, 3), _route(9, 2, 3)
+    # legs {(1,2),(2,3)} vs {(9,2),(2,3)} -> 1 shared of 3
+    assert segment_jaccard(a, b) == pytest.approx(1 / 3)
+    # a common start adds the (start, first poi) leg
+    assert segment_jaccard(a, b, start=0) == pytest.approx(1 / 5)
+    assert segment_jaccard(a, a, start=0) == 1.0
+
+
+def test_route_similarity_is_a_convex_mix():
+    a, b = _route(1, 2), _route(1, 3)
+    poi, seg = poi_jaccard(a, b), segment_jaccard(a, b)
+    assert route_similarity(a, b, geometry_weight=0.0) == pytest.approx(poi)
+    assert route_similarity(a, b, geometry_weight=1.0) == pytest.approx(seg)
+    mixed = route_similarity(a, b, geometry_weight=0.25)
+    assert mixed == pytest.approx(0.25 * seg + 0.75 * poi)
+    assert 0.0 <= mixed <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# the satellite properties
+
+
+def _random_candidates(rng: random.Random, count: int) -> list[SkylineRoute]:
+    pool = list(range(20))
+    return [
+        _route(
+            *rng.sample(pool, 3),
+            length=float(rng.randint(1, 30)),
+            semantic=rng.random(),
+        )
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lambda_zero_is_the_identity_permutation(seed):
+    rng = random.Random(seed)
+    candidates = _random_candidates(rng, 12)
+    assert diversify(candidates, diversity_lambda=0.0) == candidates
+    assert (
+        diversify(candidates, 5, diversity_lambda=0.0) == candidates[:5]
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("lam", [0.0, 0.3, 0.7, 1.0])
+def test_reranked_lists_are_subsets_of_the_input(seed, lam):
+    rng = random.Random(seed)
+    candidates = _random_candidates(rng, 10)
+    out = diversify(candidates, 6, diversity_lambda=lam)
+    assert len(out) == 6
+    ids = {id(r) for r in candidates}
+    assert all(id(r) in ids for r in out)  # permutes, never invents
+    assert len({id(r) for r in out}) == len(out)  # no duplicates
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_first_pick_is_always_the_top_ranked_route(seed):
+    rng = random.Random(seed)
+    candidates = _random_candidates(rng, 8)
+    for lam in (0.0, 0.5, 1.0):
+        out = diversify(candidates, 3, diversity_lambda=lam)
+        assert out[0] is candidates[0]
+
+
+def test_diversify_guard_rails():
+    with pytest.raises(QueryError):
+        diversify([], diversity_lambda=-0.5)
+    with pytest.raises(QueryError):
+        diversify([], diversity_lambda=2.0)
+    assert diversify([], 3, diversity_lambda=0.5) == []
+    one = [_route(1, 2)]
+    assert diversify(one, 3, diversity_lambda=0.9) == one
+
+
+def test_diversify_prefers_dissimilar_routes():
+    first = _route(1, 2, 3, length=1.0)
+    near_copy = _route(1, 2, 4, length=2.0)
+    disjoint = _route(7, 8, 9, length=3.0)
+    out = diversify(
+        [first, near_copy, disjoint], 2, diversity_lambda=0.8
+    )
+    assert out == [first, disjoint]
+
+
+# ---------------------------------------------------------------------------
+# threading through engine, session, service
+
+
+def _engine_and_query(seed, size=3):
+    network, forest, rng = random_instance(seed)
+    picked = pick_query(network, forest, rng, size)
+    if picked is None:
+        pytest.skip("instance admits no query of this size")
+    start, cats = picked
+    return SkySREngine(network, forest), start, cats
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_engine_lambda_zero_identity_and_skyband_containment(seed):
+    engine, start, cats = _engine_and_query(seed)
+    base = engine.query(start, cats, options=BSSROptions().but(k=4))
+    zero = engine.query(
+        start, cats, options=BSSROptions().but(k=4, diversity_lambda=0.0)
+    )
+    assert [r.pois for r in zero.routes] == [r.pois for r in base.routes]
+    for lam in (0.4, 1.0):
+        diverse = engine.query(
+            start,
+            cats,
+            options=BSSROptions().but(k=4, diversity_lambda=lam),
+        )
+        band = {r.pois for r in base.skyband}
+        assert {r.pois for r in diverse.routes} <= band
+        assert diverse.routes[0].pois == base.routes[0].pois
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_session_pages_with_lambda_zero_match_plain_session(seed):
+    engine, start, cats = _engine_and_query(seed)
+    plain = engine.session(start, cats, page_size=2)
+    zero = engine.session(start, cats, page_size=2, diversity_lambda=0.0)
+    for _ in range(3):
+        assert [r.pois for r in zero.next_page()] == [
+            r.pois for r in plain.next_page()
+        ]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_diverse_session_pages_stay_inside_the_skyband(seed):
+    """Each page's routes come from the skyband as it stood when the
+    page was served (a later resume may swap a score-equivalent
+    representative, so containment is per-page by PoIs and global by
+    score pair), and no score pair is ever served twice."""
+    engine, start, cats = _engine_and_query(seed)
+    session = engine.session(
+        start, cats, page_size=2, diversity_lambda=0.7
+    )
+    served = []
+    for _ in range(3):
+        page = session.next_page()
+        band_now = {r.pois for r in session._search.state.skyband.routes()}
+        assert {r.pois for r in page.routes} <= band_now
+        served.extend(page.routes)
+        if page.exhausted:
+            break
+    final_scores = {
+        r.scores() for r in session._search.state.skyband.routes()
+    }
+    assert {r.scores() for r in served} <= final_scores
+    scorepairs = [r.scores() for r in served]
+    assert len(scorepairs) == len(set(scorepairs))  # nothing re-served
+
+
+def test_result_diversified_accessor(figure1):
+    engine = SkySREngine(figure1.network, figure1.forest)
+    start = figure1.landmarks["vq"]
+    cats = ["Asian Restaurant", "Arts & Entertainment", "Gift Shop"]
+    result = engine.query(start, cats, options=BSSROptions().but(k=3))
+    assert [r.pois for r in result.diversified(diversity_lambda=0.0)] == [
+        r.pois for r in result.topk()
+    ]
+    diverse = result.diversified(diversity_lambda=0.8)
+    assert {r.pois for r in diverse} <= {r.pois for r in result.skyband}

@@ -128,3 +128,56 @@ def test_property_threshold_is_min_over_feasible(scores):
         feasible = [r.length for r in sky if r.semantic <= probe]
         expected = min(feasible) if feasible else math.inf
         assert sky.threshold(probe) == expected
+
+
+# ---------------------------------------------------------------------------
+# deterministic tie-break (lexicographic PoI ids)
+
+
+def test_equivalence_collapse_keeps_lexicographically_smallest_pois():
+    """Regression: equal-score routes collapse to a *defined*
+    representative — the lexicographically smallest PoI tuple — no
+    matter the insertion order."""
+    late_winner = SkylineSet()
+    late_winner.update(_route(5.0, 0.5, (9, 2)))
+    late_winner.update(_route(5.0, 0.5, (3, 7)))
+    assert [r.pois for r in late_winner] == [(3, 7)]
+
+    early_winner = SkylineSet()
+    early_winner.update(_route(5.0, 0.5, (3, 7)))
+    early_winner.update(_route(5.0, 0.5, (9, 2)))
+    assert [r.pois for r in early_winner] == [(3, 7)]
+
+    # membership counters are unaffected by the representative swap
+    assert late_winner.updates == early_winner.updates == 1
+    assert late_winner.rejects == early_winner.rejects == 1
+
+
+def test_skyband_collapse_is_order_independent_on_representatives():
+    import itertools
+    import random
+
+    from repro.core.dominance import skyband_filter
+
+    rng = random.Random(5)
+    routes = [
+        _route(float(rng.randint(1, 4)), rng.randint(0, 2) / 2.0, (i, j))
+        for i, j in itertools.product(range(4), range(4))
+        if i != j
+    ]
+    reference = [r.pois for r in skyband_filter(routes, 2)]
+    for _ in range(10):
+        rng.shuffle(routes)
+        assert [r.pois for r in skyband_filter(routes, 2)] == reference
+
+
+def test_rank_routes_breaks_score_ties_by_pois():
+    from repro.core.dominance import rank_routes
+
+    a = _route(5.0, 0.5, (4, 1))
+    b = _route(5.0, 0.5, (2, 9))
+    c = _route(5.0, 0.5, (2, 3))
+    ranked = rank_routes([a, b, c])
+    assert [r.pois for r in ranked] == [(2, 3), (2, 9), (4, 1)]
+    # deterministic under any input order
+    assert rank_routes([c, a, b]) == ranked

@@ -93,6 +93,7 @@ def test_registry_lists_all_paper_artifacts():
         "figure4",
         "figure5",
         "figure6",
+        "pagination",
         "table1",
         "table4",
         "table5",

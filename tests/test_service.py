@@ -139,3 +139,134 @@ def test_user_study_deterministic():
     a = simulate_user_study(mini_city(), respondents=8, seed=3)
     b = simulate_user_study(mini_city(), respondents=8, seed=3)
     assert a.answers == b.answers
+
+
+# ---------------------------------------------------------------------------
+# resumable sessions + admission control (the production-facing facade)
+
+
+def _topk_service(**kwargs):
+    from repro.datasets import tokyo_like
+    from repro.experiments.scenarios import ensure_category_pois
+
+    data = tokyo_like(scale=0.2, seed=9)
+    ensure_category_pois(data, ["Beer Garden", "Sake Bar"], per_category=3)
+    return SkySRService(data, **kwargs), data
+
+
+def _start(data):
+    from repro.experiments.scenarios import scenario_start
+
+    return scenario_start(data, seed=5)
+
+
+def test_service_session_create_resume_round_trip():
+    service, data = _topk_service()
+    start = _start(data)
+    sid = service.create_session(
+        ["Beer Garden", "Sake Bar"], start=start, page_size=2
+    )
+    first = service.next_page(sid)
+    assert first.session_id == sid and first.page == 1
+    assert [card.rank for card in first.cards] == list(
+        range(1, len(first.cards) + 1)
+    )
+    second = service.next_page(sid)
+    assert second.page == 2
+    if second.cards:
+        # global ranks continue across pages
+        assert second.cards[0].rank == len(first.cards) + 1
+    # the two pages together equal the one-shot top-4
+    oneshot = service.plan(
+        ["Beer Garden", "Sake Bar"], start=start, k=4
+    )
+    served = [c.pois for c in first.cards + second.cards]
+    assert served == [r.pois for r in oneshot.result.routes][: len(served)]
+    service.close_session(sid)
+    with pytest.raises(QueryError):
+        service.next_page(sid)
+
+
+def test_service_session_through_plan_batch_and_geojson():
+    service, data = _topk_service()
+    start = _start(data)
+    # batch entry 1 creates a session; entry 2 is a plain plan
+    payload = service.batch_geojson(
+        [
+            {
+                "categories": ["Beer Garden", "Sake Bar"],
+                "start": start,
+                "page_size": 2,
+            },
+            {"categories": ["Sake Bar"], "start": start, "k": 2},
+        ]
+    )
+    assert payload["type"] == "SkySRBatch"
+    first, second = payload["responses"]
+    sid = first["session"]
+    assert first["page"] == 1 and sid.startswith("sess-")
+    assert "session" not in second
+    # round-trip: resume the same session through the batch endpoint
+    followup = service.batch_geojson([{"session": sid}])
+    entry = followup["responses"][0]
+    assert entry["session"] == sid and entry["page"] == 2
+    if entry["routes"]["features"]:
+        assert entry["first_rank"] == len(first["routes"]["features"]) + 1
+    # no feature served twice across the two pages
+    def poiset(e):
+        return {tuple(f["properties"]["pois"]) for f in e["routes"]["features"]}
+    assert not (poiset(first) & poiset(entry))
+
+
+def test_service_admission_rejects_oversized_k():
+    from repro.errors import AdmissionError
+
+    service, data = _topk_service(max_k=3)
+    start = _start(data)
+    with pytest.raises(AdmissionError):
+        service.plan(["Beer Garden", "Sake Bar"], start=start, k=4)
+    with pytest.raises(AdmissionError):
+        service.create_session(
+            ["Beer Garden", "Sake Bar"], start=start, page_size=5
+        )
+    with pytest.raises(AdmissionError):
+        service.plan_batch(
+            [{"categories": ["Sake Bar"], "start": start, "k": 10}]
+        )
+    # at the cap everything is admitted
+    ok = service.plan(["Beer Garden", "Sake Bar"], start=start, k=3)
+    assert ok.result.k == 3
+    # AdmissionError is a QueryError: one service-boundary handler works
+    with pytest.raises(QueryError):
+        service.plan(["Beer Garden", "Sake Bar"], start=start, k=99)
+
+
+def test_service_admission_caps_session_budget():
+    from repro.errors import AdmissionError
+
+    service, data = _topk_service(max_session_routes=3)
+    start = _start(data)
+    sid = service.create_session(
+        ["Beer Garden", "Sake Bar"], start=start, page_size=2
+    )
+    service.next_page(sid)  # serves <= 2 routes
+    with pytest.raises(AdmissionError):
+        service.next_page(sid)  # would exceed the 3-route budget
+    assert service.next_page(sid, n=1).page == 2  # within budget
+
+
+def test_service_diversity_lambda_plumbs_through():
+    service, data = _topk_service()
+    start = _start(data)
+    plain = service.plan(["Beer Garden", "Sake Bar"], start=start, k=3)
+    diverse = service.plan(
+        ["Beer Garden", "Sake Bar"],
+        start=start,
+        k=3,
+        diversity_lambda=0.8,
+    )
+    assert {c.pois for c in diverse.cards} <= {
+        r.pois for r in plain.result.skyband
+    }
+    if diverse.cards and plain.cards:
+        assert diverse.cards[0].pois == plain.cards[0].pois
