@@ -1,0 +1,182 @@
+"""Durable sessions — restore latency, resume savings, store hit rate.
+
+The durable-session machinery only earns its keep if restoring a
+serialized :class:`~repro.core.session.PlanningSession` is cheap and
+the restored checkpoint still saves the recompute work.  This
+benchmark measures both and emits the machine-readable
+``BENCH_session_store.json`` artifact at the repo root:
+
+* **restore latency** — p50/p95 of ``PlanningSession.loads`` over the
+  workload's serialized page-1 sessions;
+* **resume vs fresh pops** — queue pops for the restored session's
+  page 2 against the from-scratch ``2k`` recompute (the restored copy
+  must match the live resume pop-for-pop and beat the recompute);
+* **store hit rate** — an :class:`~repro.store.InMemorySessionStore`
+  driven through the page-1/page-2 flow, plus mean payload size.
+
+A committed baseline of the same file is the regression guard: the
+current p95 restore latency must stay within 2x the committed value
+(with an absolute floor so CI jitter on sub-millisecond restores
+cannot flake the build).  The baseline is read *before* the artifact
+is rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import mean
+from time import perf_counter
+
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.core.session import PlanningSession
+from repro.datasets.workloads import generate_workload
+from repro.errors import SessionNotFoundError
+from repro.store import InMemorySessionStore
+
+PAGE_SIZE = 3
+#: restore timings per serialized session
+RESTORE_SAMPLES = 15
+#: regression guard: current p95 may be at most 2x the committed one,
+#: with an absolute floor (seconds) so micro-latency jitter can't flake
+P95_RATIO_LIMIT = 2.0
+P95_FLOOR_S = 0.05
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_session_store.json"
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_session_store_artifact(benchmark, bench_config, tokyo, capsys):
+    engine = SkySREngine(tokyo.network, tokyo.forest)
+    workload = generate_workload(
+        tokyo,
+        3,
+        max(bench_config.queries_per_cell, 2),
+        seed=bench_config.seed,
+    )
+
+    baseline_p95 = None
+    if ARTIFACT.exists():  # read BEFORE overwriting
+        baseline_p95 = (
+            json.loads(ARTIFACT.read_text())
+            .get("restore_latency", {})
+            .get("p95_s")
+        )
+
+    store = InMemorySessionStore()
+    latencies: list[float] = []
+    payload_bytes: list[int] = []
+    resume_pops: list[float] = []
+    restored_pops: list[float] = []
+    fresh_pops: list[float] = []
+
+    for index, query in enumerate(workload):
+        session = engine.session(
+            query.start, list(query.categories), page_size=PAGE_SIZE
+        )
+        session.next_page()
+        text = session.dumps()
+        payload_bytes.append(len(text.encode("utf-8")))
+        store.put(f"trip-{index}", json.loads(text))
+
+        for _ in range(RESTORE_SAMPLES):
+            started = perf_counter()
+            restored = PlanningSession.loads(engine, text)
+            latencies.append(perf_counter() - started)
+
+        # page 2 on the store-restored copy vs live resume vs recompute
+        restored = PlanningSession.from_dict(
+            engine, store.get(f"trip-{index}")
+        )
+        restored_page2 = restored.next_page()
+        live_page2 = session.next_page()
+        fresh = engine.query(
+            query.start,
+            list(query.categories),
+            options=BSSROptions().but(k=2 * PAGE_SIZE),
+        )
+        resume_pops.append(live_page2.stats.routes_expanded)
+        restored_pops.append(restored_page2.stats.routes_expanded)
+        fresh_pops.append(fresh.stats.routes_expanded)
+
+        # Exactness: the restored page equals the live one, pop for pop.
+        assert [r.scores() for r in restored_page2.routes] == [
+            r.scores() for r in live_page2.routes
+        ]
+        assert (
+            restored_page2.stats.routes_expanded
+            == live_page2.stats.routes_expanded
+        )
+
+    # a paging client's store traffic: every page-2 get was a hit, plus
+    # one guaranteed miss to show the rate is a real quotient
+    try:
+        store.get("never-stored")
+    except SessionNotFoundError:
+        pass
+
+    # time one representative restore under pytest-benchmark as well
+    sample_text = text
+    benchmark.pedantic(
+        lambda: PlanningSession.loads(engine, sample_text),
+        rounds=3,
+        iterations=1,
+    )
+
+    p50 = _quantile(latencies, 0.50)
+    p95 = _quantile(latencies, 0.95)
+    saving = 1.0 - mean(restored_pops) / mean(fresh_pops)
+    artifact = {
+        "benchmark": "session_store",
+        "config": {
+            "scale": bench_config.scale,
+            "queries": len(workload),
+            "page_size": PAGE_SIZE,
+            "restore_samples_per_session": RESTORE_SAMPLES,
+        },
+        "restore_latency": {
+            "p50_s": p50,
+            "p95_s": p95,
+            "samples": len(latencies),
+        },
+        "pops": {
+            "resume_mean": mean(resume_pops),
+            "restored_resume_mean": mean(restored_pops),
+            "fresh_2k_mean": mean(fresh_pops),
+            "restored_saving": saving,
+        },
+        "payload": {"bytes_mean": mean(payload_bytes)},
+        "store": store.stats.as_dict(),
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"session store: restore p50={p50 * 1e3:.2f}ms "
+            f"p95={p95 * 1e3:.2f}ms over {len(latencies)} samples, "
+            f"restored resume saves {saving * 100:.0f}% of fresh pops, "
+            f"hit rate {store.stats.hit_rate:.2f} "
+            f"-> {ARTIFACT.name}"
+        )
+
+    # Acceptance: the restored checkpoint still beats recomputing.
+    assert mean(restored_pops) < mean(fresh_pops)
+    assert restored_pops == resume_pops
+    # Store saw real traffic: one engineered miss, everything else hits.
+    assert store.stats.hits == len(workload)
+    assert store.stats.misses == 1
+
+    # Regression guard against the committed artifact.
+    if baseline_p95 is not None:
+        limit = max(P95_RATIO_LIMIT * baseline_p95, P95_FLOOR_S)
+        assert p95 <= limit, (
+            f"p95 restore latency regressed: {p95:.4f}s > limit "
+            f"{limit:.4f}s (committed baseline {baseline_p95:.4f}s)"
+        )

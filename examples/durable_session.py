@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Durable sessions: serialize, store, restore — across processes.
+
+A single-process :class:`~repro.core.session.PlanningSession` dies
+with its worker.  The durable form survives: ``session.dumps()`` is a
+versioned, self-contained JSON payload, a pluggable
+:class:`~repro.store.SessionStore` keeps it between requests (with
+TTL expiry, LRU eviction, and admission backpressure), and the
+versioned :class:`~repro.service.SessionApi` restores the session
+from the store on *every* call — so any worker can serve any page of
+any session.  The restored checkpoint is exact: page 2 after a round
+trip pops the same queue entries as the live session would have.
+
+Run:  python examples/durable_session.py
+"""
+
+from repro import PlanningSession, SkySREngine, datasets
+from repro.errors import SessionNotFoundError
+from repro.service import SessionApi, SkySRService
+from repro.store import InMemorySessionStore
+
+
+def main() -> None:
+    data = datasets.mini_city()
+    engine = SkySREngine(data.network, data.forest)
+    start = data.landmarks["vq"]
+    categories = ["Asian Restaurant", "Arts & Entertainment", "Gift Shop"]
+
+    # -- 1. serialize / restore by hand ---------------------------------
+    session = engine.session(start, categories, page_size=2)
+    page1 = session.next_page()
+    payload = session.dumps()  # versioned JSON text, self-contained
+    print(
+        f"page 1 served ({len(page1)} routes); checkpoint serialized "
+        f"to {len(payload)} bytes of JSON"
+    )
+
+    restored = PlanningSession.loads(engine, payload)  # e.g. next process
+    page2 = restored.next_page()
+    live_page2 = session.next_page()
+    assert [r.scores() for r in page2.routes] == [
+        r.scores() for r in live_page2.routes
+    ]
+    assert page2.stats.routes_expanded == live_page2.stats.routes_expanded
+    print(
+        f"restored session served page 2 (ranks {page2.first_rank}..) "
+        f"with {page2.stats.routes_expanded} queue pops — identical, "
+        "pop for pop, to the never-serialized session"
+    )
+
+    # -- 2. the stateless service tier ----------------------------------
+    # One store, two API "workers": any worker serves any session,
+    # because state lives only in the store.
+    store = InMemorySessionStore(max_entries=100, ttl=3600.0)
+    service = SkySRService(data, max_k=10)
+    worker_a = SessionApi(service, store, id_factory=lambda: "trip-1")
+    worker_b = SessionApi(service, store)
+
+    created = worker_a.dispatch(
+        "POST",
+        "/v1/sessions",
+        {"categories": categories, "start": start, "page_size": 2},
+    )
+    sid = created.body["session_id"]
+    first = worker_a.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    second = worker_b.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    print(
+        f"\nsession {sid}: worker A served page {first.body['page']}, "
+        f"worker B resumed and served page {second.body['page']} "
+        f"(ranks {second.body['first_rank']}..)"
+    )
+    for route in second.body["routes"]:
+        print(
+            f"  #{route['rank']}: distance {route['distance']:.3f}, "
+            f"{route['semantic_fit'] * 100:.0f}% match"
+        )
+
+    worker_b.dispatch("DELETE", f"/v1/sessions/{sid}")
+    try:
+        service_answer = worker_a.dispatch(
+            "POST", f"/v1/sessions/{sid}/pages"
+        )
+        print(
+            f"\nafter close: {service_answer.status} "
+            f"{service_answer.body['error']} (typed, not a KeyError)"
+        )
+    except SessionNotFoundError:  # pragma: no cover - dispatch maps it
+        pass
+    print(f"store stats: {store.stats.as_dict()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@ from repro import (
     graph,
     semantics,
     service,
+    store,
 )
 from repro.core import (
     ALGORITHMS,
@@ -64,6 +65,10 @@ from repro.errors import (
     GraphError,
     QueryError,
     ReproError,
+    SessionDecodeError,
+    SessionEncodeError,
+    SessionExpiredError,
+    SessionNotFoundError,
 )
 from repro.graph import PoIIndex, RoadNetwork
 from repro.semantics import (
@@ -71,6 +76,11 @@ from repro.semantics import (
     HierarchyWuPalmer,
     ProductAggregator,
     build_foursquare_forest,
+)
+from repro.store import (
+    DiskSessionStore,
+    InMemorySessionStore,
+    SessionStore,
 )
 
 __version__ = "1.0.0"
@@ -90,6 +100,10 @@ __all__ = [
     "SearchState",
     "diversify",
     "route_similarity",
+    # durable session stores
+    "SessionStore",
+    "InMemorySessionStore",
+    "DiskSessionStore",
     # values
     "SkylineRoute",
     "SkylineSet",
@@ -114,6 +128,10 @@ __all__ = [
     "AdmissionError",
     "DataError",
     "AlgorithmError",
+    "SessionNotFoundError",
+    "SessionExpiredError",
+    "SessionEncodeError",
+    "SessionDecodeError",
     # subpackages
     "graph",
     "semantics",
@@ -122,4 +140,5 @@ __all__ = [
     "extensions",
     "experiments",
     "service",
+    "store",
 ]

@@ -9,6 +9,11 @@ Subcommands::
                                             continues the checkpointed
                                             search for ranks 4..6)
     skysr query  --topk 5 --diverse 0.6 ... MMR diversity re-ranking
+    skysr query  --page 1 --save-session trip.json ...   durable session
+    skysr query  --resume-session trip.json --save-session trip.json
+                                     next page, restored from the file —
+                                     no --categories needed, and only
+                                     the incremental search runs
     skysr experiment figure3         regenerate one paper table/figure
     skysr experiment all             regenerate everything
     skysr generate --preset nyc out.json      save a dataset to JSON
@@ -18,16 +23,24 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
 from repro import __version__
 from repro.core.engine import ALGORITHMS, SkySREngine
 from repro.core.options import BSSROptions
+from repro.core.session import PlanningSession
 from repro.datasets.presets import PRESETS, by_name
+from repro.errors import ReproError
 from repro.experiments.harness import ExperimentConfig
 from repro.graph.io import save_dataset
 from repro.service.user_study import simulate_user_study
+
+#: envelope for session files: the serialized session plus the dataset
+#: provenance (preset/scale/seed) needed to rebuild the same network
+SESSION_FILE_FORMAT = "repro-skysr-session-file"
+SESSION_FILE_VERSION = 1
 
 
 def _positive_int(raw: str) -> int:
@@ -63,6 +76,29 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.resume_session is not None:
+        if args.categories:
+            print(
+                "error: --resume-session restores the original query; "
+                "it cannot be combined with --categories",
+                file=sys.stderr,
+            )
+            return 2
+        return _resume_query(args)
+    if not args.categories:
+        print(
+            "error: --categories is required (unless resuming a saved "
+            "session with --resume-session)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.save_session is not None and args.page is None:
+        print(
+            "error: --save-session needs a resumable session; add "
+            "--page P (or use --resume-session)",
+            file=sys.stderr,
+        )
+        return 2
     data = by_name(args.preset, args.dataset_scale, args.seed)
     engine = SkySREngine(data.network, data.forest)
     start = args.start
@@ -135,9 +171,17 @@ def _paged_query(engine: SkySREngine, start: int, args) -> int:
         if page.exhausted:
             break
         page = session.next_page()
+    _print_page(session, page)
+    if args.save_session is not None:
+        _save_session_file(args.save_session, args, session)
+    return 0
+
+
+def _print_page(session: PlanningSession, page) -> None:
     result = session.to_result(page)
     total = session.total_stats()
-    flavor = f", λ={args.diverse:g}" if args.diverse > 0.0 else ""
+    lam = session.diversity_lambda
+    flavor = f", λ={lam:g}" if lam > 0.0 else ""
     print(
         f"# page {page.number} (ranks {page.first_rank}.."
         f"{page.first_rank + max(len(page) - 1, 0)}) of a resumable "
@@ -150,6 +194,88 @@ def _paged_query(engine: SkySREngine, start: int, args) -> int:
         print(result.to_page_table(first_rank=page.first_rank))
     else:
         print("(no further routes — the alternatives are exhausted)")
+
+
+def _save_session_file(
+    path: str, args: argparse.Namespace, session: PlanningSession
+) -> None:
+    """Write the session + dataset provenance so ``--resume-session``
+    can rebuild the identical network in a later process."""
+    envelope = {
+        "format": SESSION_FILE_FORMAT,
+        "version": SESSION_FILE_VERSION,
+        "context": {
+            "preset": args.preset,
+            "dataset_scale": args.dataset_scale,
+            "seed": args.seed,
+        },
+        "session": session.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(envelope, fh)
+    print(f"# session saved to {path} (resume with --resume-session)")
+
+
+def _resume_query(args: argparse.Namespace) -> int:
+    """``--resume-session FILE``: restore the saved session (dataset
+    rebuilt from the file's provenance) and serve the next page(s) —
+    only the incremental search beyond the checkpoint runs."""
+    try:
+        with open(args.resume_session, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read session file: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.resume_session} is not valid JSON: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != SESSION_FILE_FORMAT
+    ):
+        print(
+            f"error: {args.resume_session} is not a saved session file "
+            f"(expected format {SESSION_FILE_FORMAT!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if envelope.get("version") != SESSION_FILE_VERSION:
+        print(
+            f"error: session file version {envelope.get('version')!r} is "
+            f"not supported (this build reads version "
+            f"{SESSION_FILE_VERSION})",
+            file=sys.stderr,
+        )
+        return 2
+    context = envelope.get("context") or {}
+    try:
+        data = by_name(
+            context.get("preset", "mini"),
+            context.get("dataset_scale", 0.35),
+            context.get("seed"),
+        )
+        engine = SkySREngine(data.network, data.forest)
+        session = PlanningSession.from_dict(engine, envelope["session"])
+    except (ReproError, KeyError) as exc:
+        print(f"error: cannot restore session: {exc}", file=sys.stderr)
+        return 2
+    pages = args.page or 1
+    page = None
+    for _ in range(pages):
+        if page is not None and page.exhausted:
+            break
+        page = session.next_page()
+    _print_page(session, page)
+    if args.save_session is not None:
+        save_args = argparse.Namespace(
+            preset=context.get("preset", "mini"),
+            dataset_scale=context.get("dataset_scale", 0.35),
+            seed=context.get("seed"),
+        )
+        _save_session_file(args.save_session, save_args, session)
     return 0
 
 
@@ -234,7 +360,29 @@ def build_parser() -> argparse.ArgumentParser:
         "higher-ranked alternatives)",
     )
     p_query.add_argument(
-        "--categories", nargs="+", required=True, metavar="CATEGORY"
+        "--categories",
+        nargs="+",
+        default=None,
+        metavar="CATEGORY",
+        help="requested category sequence (required unless "
+        "--resume-session restores one)",
+    )
+    p_query.add_argument(
+        "--save-session",
+        default=None,
+        metavar="FILE",
+        dest="save_session",
+        help="after serving the page, save the checkpointed session "
+        "(with dataset provenance) to FILE for --resume-session",
+    )
+    p_query.add_argument(
+        "--resume-session",
+        default=None,
+        metavar="FILE",
+        dest="resume_session",
+        help="restore a session saved with --save-session and serve "
+        "its next page(s) — --page P serves P further pages; combine "
+        "with --save-session to keep paging across invocations",
     )
     p_query.set_defaults(func=_cmd_query)
 

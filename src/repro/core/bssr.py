@@ -230,6 +230,32 @@ class BSSRSearch:
         self._started = False
         self.precomputed_bounds: LowerBounds | None = None
 
+    # Durable checkpoints ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize the checkpointed state (see
+        :mod:`repro.core.serialize`).  One-shot searches
+        (``checkpointable=False``) refuse with a typed
+        :class:`~repro.errors.SessionEncodeError`."""
+        from repro.core.serialize import search_to_dict
+
+        return search_to_dict(self)
+
+    @classmethod
+    def from_dict(
+        cls,
+        network: RoadNetwork,
+        query: CompiledQuery,
+        aggregator: SemanticAggregator | None,
+        payload: dict,
+    ) -> "BSSRSearch":
+        """Restore a checkpointed search against the same dataset."""
+        from repro.core.serialize import search_from_dict
+
+        return search_from_dict(
+            network, query, aggregator or DEFAULT_AGGREGATOR, payload
+        )
+
     # Convenience views over the state ---------------------------------
 
     @property

@@ -9,7 +9,7 @@ skyline scores — the optimizations are pure pruning, never semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.errors import QueryError
 
@@ -95,6 +95,21 @@ class BSSROptions:
     def but(self, **changes) -> "BSSROptions":
         """A copy with some flags changed (ablation helper)."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (all fields are plain scalars)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BSSROptions":
+        """Inverse of :meth:`to_dict`; strict about unknown fields so a
+        payload written by a newer library version is rejected instead
+        of silently dropping the flags it does not understand."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise QueryError(f"unknown BSSROptions field(s): {unknown}")
+        return cls(**payload)
 
     def effective_perfect_bound(self) -> bool:
         """Lemma 5.8 needs the ``l_s``/``l_p`` machinery to be active."""

@@ -188,3 +188,58 @@ class PoICandidateSearch:
         """Exhaust the search (used by tests and ablations)."""
         while not self.exhausted:
             self._settle_one()
+
+    # ------------------------------------------------------------------
+    # durable checkpoints
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot of a *cached* search.
+
+        Only route-independent instances are cacheable (BSSR builds
+        throw-away searches for per-route exclusions), so an exclusion
+        set here means the caller is serializing something that should
+        never have reached a durable checkpoint.
+        """
+        from repro.errors import SessionEncodeError
+
+        if self._exclude:
+            raise SessionEncodeError(
+                "candidate searches with per-route exclusions are "
+                "route-local and cannot be checkpointed"
+            )
+        return {
+            "source": self.source,
+            "dist": [[v, d] for v, d in self._dist.items()],
+            "path_sim": [[v, s] for v, s in self._path_sim.items()],
+            "settled": sorted(self._settled),
+            "heap": [[d, v] for d, v in self._heap],
+            "candidates": [[d, v, s] for d, v, s in self.candidates],
+            "radius": self.radius,
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: dict,
+        network: RoadNetwork,
+        spec: PositionSpec,
+        *,
+        stats: SearchStats | None = None,
+    ) -> "PoICandidateSearch":
+        """Rebuild a cached search exactly: same frontier, same settled
+        set, same emitted candidate stream (hence the same deterministic
+        ``candidates_until`` replay offsets)."""
+        search = cls(network, spec, int(payload["source"]), stats=stats)
+        search._dist = {int(v): float(d) for v, d in payload["dist"]}
+        search._path_sim = {
+            int(v): float(s) for v, s in payload["path_sim"]
+        }
+        search._settled = {int(v) for v in payload["settled"]}
+        search._heap = [(float(d), int(v)) for d, v in payload["heap"]]
+        heapq.heapify(search._heap)
+        search.candidates = [
+            (float(d), int(v), float(s)) for d, v, s in payload["candidates"]
+        ]
+        search.radius = float(payload["radius"])
+        return search

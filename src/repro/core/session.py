@@ -103,6 +103,9 @@ class PlanningSession:
         self.engine = engine
         self.page_size = page_size
         self.diversity_lambda = validate_lambda(diversity_lambda)
+        #: the raw request sequence, kept for durable serialization
+        #: (labels are not reliably resolvable back to requirements)
+        self.categories = list(categories)
         self.compiled = engine.compile(
             start, categories, destination=destination
         )
@@ -236,6 +239,44 @@ class PlanningSession:
             _network=self.engine.network,
             _forest=self.engine.forest,
         )
+
+    # ------------------------------------------------------------------
+    # durable sessions (see repro.core.serialize / repro.store)
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-compatible snapshot of the whole session —
+        compiled query, served pages, and the full search checkpoint.
+        Restore with :meth:`from_dict` (same dataset + aggregator)."""
+        from repro.core.serialize import session_to_dict
+
+        return session_to_dict(self)
+
+    def dumps(self, *, indent: int | None = None) -> str:
+        """:meth:`to_dict` as JSON text (the at-rest store format)."""
+        from repro.core.serialize import dumps_session
+
+        return dumps_session(self, indent=indent)
+
+    @classmethod
+    def from_dict(
+        cls, engine: "SkySREngine", payload: dict
+    ) -> "PlanningSession":
+        """Restore a serialized session against ``engine``.
+
+        The engine must serve the same dataset and aggregator the
+        session was created over; malformed or version-incompatible
+        payloads raise :class:`~repro.errors.SessionDecodeError`.
+        """
+        from repro.core.serialize import session_from_dict
+
+        return session_from_dict(engine, payload)
+
+    @classmethod
+    def loads(cls, engine: "SkySREngine", text: str) -> "PlanningSession":
+        """Inverse of :meth:`dumps` (typed errors on corrupted JSON)."""
+        from repro.core.serialize import loads_session
+
+        return loads_session(engine, text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -79,6 +79,32 @@ class SearchStats:
         payload.update(self.extra)
         return payload
 
+    def to_dict(self) -> dict:
+        """Lossless dict form: unlike :meth:`as_dict` the free-form
+        ``extra`` counters stay in their own key, so :meth:`from_dict`
+        can reverse the mapping exactly."""
+        payload = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "extra"
+        }
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchStats":
+        """Inverse of :meth:`to_dict` (strict about unknown fields)."""
+        stats = cls()
+        known = set(stats.__dict__)
+        for key, value in payload.items():
+            if key == "extra":
+                stats.extra.update(value)
+            elif key in known:
+                setattr(stats, key, value)
+            else:
+                raise ValueError(f"unknown SearchStats field {key!r}")
+        return stats
+
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's counters into this one (sums)."""
         for key in (

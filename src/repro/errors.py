@@ -31,8 +31,42 @@ class AdmissionError(QueryError):
     boundary handlers keep working."""
 
 
+class SessionNotFoundError(QueryError):
+    """A session id does not resolve to live state — never created,
+    already closed, or evicted from the store.  A subclass of
+    :class:`QueryError` so service-boundary handlers keep working, and
+    deliberately *not* a ``KeyError``: store lookups are part of the
+    public request surface, not a dict access."""
+
+
+class SessionExpiredError(SessionNotFoundError):
+    """The session existed but its TTL has lapsed.  Distinguished from
+    plain not-found so clients can tell "retry with a new session" from
+    "you never had one"."""
+
+
 class DataError(ReproError):
     """Dataset generation or (de)serialization errors."""
+
+
+class SessionEncodeError(DataError):
+    """A session cannot be serialized — e.g. it was built from
+    non-serializable category requirements (predicate objects)."""
+
+
+class SessionDecodeError(DataError):
+    """A serialized session payload failed strict validation.
+
+    Raised for corrupted or truncated JSON, missing or mistyped fields,
+    and unknown schema versions (forward-compat rejection).  ``field``
+    names the offending field (``"<json>"`` for undecodable text), so a
+    service can log precisely what was wrong without string-parsing the
+    message.
+    """
+
+    def __init__(self, message: str, *, field: str = "<payload>") -> None:
+        super().__init__(message)
+        self.field = field
 
 
 class AlgorithmError(ReproError):

@@ -10,6 +10,13 @@ then reports mean queue pops (``routes_expanded`` — the search-work
 proxy of :mod:`repro.core.stats`) and wall-clock time for the resumed
 second page against the from-scratch recompute.  The resume column
 should be strictly cheaper on both axes everywhere.
+
+A fourth leg covers *durable* sessions (:mod:`repro.core.serialize`):
+after page 1 the session is serialized to JSON and restored into a new
+:class:`~repro.core.session.PlanningSession`, which then serves page 2.
+Its queue pops must equal the in-process resume exactly — the
+serialization round trip loses none of the checkpoint — so the
+``restored pops`` column doubles as a standing oracle check.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from time import perf_counter
 
 from repro.core.options import BSSROptions
+from repro.core.session import PlanningSession
 from repro.core.stats import SearchStats, mean_stats
 from repro.experiments.harness import (
     ExperimentConfig,
@@ -48,7 +56,9 @@ def run(
         workload = workload_for(dataset, size, config)
         page1_stats: list[SearchStats] = []
         resume_stats: list[SearchStats] = []
+        restored_stats: list[SearchStats] = []
         fresh_stats: list[SearchStats] = []
+        mismatches = 0
         started = perf_counter()
         timed_out = False
         for qspec in workload:
@@ -59,7 +69,14 @@ def run(
                 qspec.start, list(qspec.categories), page_size=page_size
             )
             page1 = session.next_page()
+            # durable leg: JSON round trip, then page 2 on the restored copy
+            restored = PlanningSession.loads(engine, session.dumps())
+            restored_page2 = restored.next_page()
             page2 = session.next_page()
+            if [r.scores() for r in restored_page2.routes] != [
+                r.scores() for r in page2.routes
+            ]:
+                mismatches += 1
             fresh = engine.query(
                 qspec.start,
                 list(qspec.categories),
@@ -67,13 +84,15 @@ def run(
             )
             page1_stats.append(page1.stats)
             resume_stats.append(page2.stats)
+            restored_stats.append(restored_page2.stats)
             fresh_stats.append(fresh.stats)
         if not page1_stats:
-            rows.append([dataset.name, size] + [None] * 5)
+            rows.append([dataset.name, size] + [None] * 6)
             continue
-        p1, res, frs = (
+        p1, res, rst, frs = (
             mean_stats(page1_stats),
             mean_stats(resume_stats),
+            mean_stats(restored_stats),
             mean_stats(fresh_stats),
         )
         saving = (
@@ -87,6 +106,7 @@ def run(
                 size,
                 round(p1.routes_expanded, 1),
                 round(res.routes_expanded, 1),
+                round(rst.routes_expanded, 1),
                 round(frs.routes_expanded, 1),
                 f"{saving * 100.0:.0f}%",
                 None if timed_out else res.elapsed,
@@ -95,9 +115,11 @@ def run(
         cells[dataset_name] = {
             "page1": p1,
             "resume": res,
+            "restored": rst,
             "fresh": frs,
             "saving": saving,
             "queries": len(resume_stats),
+            "restored_page_mismatches": mismatches,
             "timed_out": timed_out,
         }
     headers = [
@@ -105,6 +127,7 @@ def run(
         "|Sq|",
         "page1 pops",
         "resume pops",
+        "restored pops",
         "fresh 2k pops",
         "pops saved",
         "resume [s]",

@@ -1,5 +1,12 @@
 """Prototype service layer (Section 8): facade, GeoJSON, rendering, study."""
 
+from repro.service.api import (
+    API_VERSION,
+    ApiResponse,
+    PageResource,
+    SessionApi,
+    SessionResource,
+)
 from repro.service.geojson import (
     route_feature,
     route_waypoints,
@@ -17,6 +24,11 @@ __all__ = [
     "SkySRService",
     "ServiceResponse",
     "RouteCard",
+    "SessionApi",
+    "SessionResource",
+    "PageResource",
+    "ApiResponse",
+    "API_VERSION",
     "routes_to_geojson",
     "route_feature",
     "route_waypoints",

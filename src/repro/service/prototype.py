@@ -36,7 +36,7 @@ from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
 from repro.core.session import PlanningSession
 from repro.datasets.paper_example import Dataset
-from repro.errors import AdmissionError, QueryError
+from repro.errors import AdmissionError, QueryError, SessionNotFoundError
 from repro.graph.spatial import nearest_vertex
 
 
@@ -224,7 +224,9 @@ class SkySRService:
         try:
             return self._sessions[session_id]
         except KeyError:
-            raise QueryError(f"unknown session {session_id!r}") from None
+            raise SessionNotFoundError(
+                f"unknown session {session_id!r}"
+            ) from None
 
     def next_page(
         self, session_id: str, n: int | None = None

@@ -1,0 +1,19 @@
+"""Durable session stores (see :mod:`repro.store.base`)."""
+
+from repro.store.base import (
+    SessionStore,
+    StoreBudget,
+    StoreStats,
+    validate_session_id,
+)
+from repro.store.disk import DiskSessionStore
+from repro.store.memory import InMemorySessionStore
+
+__all__ = [
+    "DiskSessionStore",
+    "InMemorySessionStore",
+    "SessionStore",
+    "StoreBudget",
+    "StoreStats",
+    "validate_session_id",
+]

@@ -1,0 +1,82 @@
+"""On-disk session store: one ``<id>.json`` file per session.
+
+The durable backend: a session saved here survives the process and can
+be restored by *another* one — the cross-process statelessness the
+service tier builds on.  A fresh :class:`DiskSessionStore` pointed at
+an existing directory adopts the payloads it finds (file size and
+mtime seed the budget/TTL bookkeeping), so worker restarts do not lose
+live sessions.
+
+Writes are atomic (temp file + rename) so a crash mid-write never
+leaves a truncated payload where a complete one used to be; a payload
+corrupted by outside forces is reported as a typed
+:class:`~repro.errors.SessionDecodeError` on read, never a bare JSON
+error.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DataError
+from repro.store.base import SessionStore
+
+
+class DiskSessionStore(SessionStore):
+    """Session payloads as JSON files under one directory."""
+
+    def __init__(self, directory: str | Path, **kwargs) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise DataError(
+                f"cannot create session store directory "
+                f"{self.directory}: {exc}"
+            ) from exc
+        # Adopted entries are stamped with file mtimes (wall clock), so
+        # TTL math must run on the same clock — not time.monotonic.
+        kwargs.setdefault("clock", time.time)
+        super().__init__(**kwargs)
+
+    def _path(self, session_id: str) -> Path:
+        return self.directory / f"{session_id}.json"
+
+    def _read(self, session_id: str) -> str:
+        try:
+            return self._path(session_id).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise DataError(
+                f"cannot read stored session {session_id!r}: {exc}"
+            ) from exc
+
+    def _write(self, session_id: str, text: str) -> None:
+        path = self._path(session_id)
+        tmp = path.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise DataError(
+                f"cannot persist session {session_id!r} to "
+                f"{self.directory}: {exc}"
+            ) from exc
+
+    def _delete(self, session_id: str) -> None:
+        try:
+            self._path(session_id).unlink(missing_ok=True)
+        except OSError as exc:
+            raise DataError(
+                f"cannot delete stored session {session_id!r}: {exc}"
+            ) from exc
+
+    def _scan(self) -> Iterable[tuple[str, int, float]]:
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            yield path.stem, stat.st_size, stat.st_mtime

@@ -1,0 +1,34 @@
+"""In-process session store (a dict of JSON texts).
+
+The default backend for single-process serving and tests: all the TTL,
+LRU, and admission policy of :class:`~repro.store.base.SessionStore`
+over a plain dict.  Sizes are accounted in serialized-JSON bytes, so a
+memory budget means what it says even though the payloads never leave
+the process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.store.base import SessionStore
+
+
+class InMemorySessionStore(SessionStore):
+    """Session payloads held in process memory."""
+
+    def __init__(self, **kwargs) -> None:
+        self._texts: dict[str, str] = {}
+        super().__init__(**kwargs)
+
+    def _read(self, session_id: str) -> str:
+        return self._texts[session_id]
+
+    def _write(self, session_id: str, text: str) -> None:
+        self._texts[session_id] = text
+
+    def _delete(self, session_id: str) -> None:
+        self._texts.pop(session_id, None)
+
+    def _scan(self) -> Iterable[tuple[str, int, float]]:
+        return ()

@@ -1,0 +1,257 @@
+"""The versioned, stateless session API over a pluggable store.
+
+Evidence that the service tier is genuinely stateless:
+
+* two :class:`~repro.service.SessionApi` instances sharing one store
+  serve alternating pages of the same session, and the result equals an
+  in-process oracle :class:`~repro.core.session.PlanningSession`;
+* every typed failure maps to its status: 400 bad request, 404 unknown
+  session, 410 expired, 429 admission/backpressure, 400 unsupported
+  API version;
+* the router speaks only ``/v1`` and refuses anything else up front.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets.presets import mini_city
+from repro.service import API_VERSION, SessionApi, SkySRService
+from repro.store import DiskSessionStore, InMemorySessionStore
+
+CATS = ["Asian Restaurant", "Arts & Entertainment", "Gift Shop"]
+
+
+@pytest.fixture()
+def city():
+    return mini_city()
+
+
+@pytest.fixture()
+def service(city):
+    return SkySRService(city, max_k=10, max_session_routes=40)
+
+
+@pytest.fixture()
+def api(service):
+    counter = itertools.count(1)
+    return SessionApi(
+        service,
+        InMemorySessionStore(),
+        id_factory=lambda: f"s{next(counter)}",
+    )
+
+
+def _create(api, city, **overrides):
+    body = {"categories": CATS, "start": city.landmarks["vq"], "page_size": 2}
+    body.update(overrides)
+    return api.dispatch("POST", f"/{API_VERSION}/sessions", body)
+
+
+def _route_keys(page_body):
+    return [(tuple(r["pois"]), r["distance"]) for r in page_body["routes"]]
+
+
+# ---------------------------------------------------------------------------
+# endpoints
+
+
+def test_create_get_page_close_lifecycle(api, city):
+    created = _create(api, city)
+    assert created.status == 201
+    sid = created.body["session_id"]
+    assert created.body["pages_served"] == 0
+    assert created.body["categories"] == CATS
+
+    page = api.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    assert page.status == 200
+    assert page.body["page"] == 1 and page.body["first_rank"] == 1
+    assert not page.body["resumed"]
+    assert len(page.body["routes"]) == 2
+    assert page.body["routes"][0]["rank"] == 1
+
+    described = api.dispatch("GET", f"/v1/sessions/{sid}")
+    assert described.status == 200
+    assert described.body["pages_served"] == 1
+    assert described.body["routes_served"] == 2
+
+    listed = api.dispatch("GET", "/v1/sessions")
+    assert listed.body == {"sessions": [sid]}
+
+    closed = api.dispatch("DELETE", f"/v1/sessions/{sid}")
+    assert closed.status == 204
+
+
+def test_pages_match_in_process_oracle_session(api, service, city):
+    sid = _create(api, city).body["session_id"]
+    oracle = service.engine.session(
+        city.landmarks["vq"], CATS, page_size=2
+    )
+    for _ in range(3):
+        body = api.dispatch("POST", f"/v1/sessions/{sid}/pages").body
+        page = oracle.next_page()
+        assert _route_keys(body) == [(r.pois, r.length) for r in page.routes]
+        assert body["first_rank"] == page.first_rank
+        assert body["exhausted"] == page.exhausted
+        if page.exhausted:
+            break
+
+
+def test_two_api_instances_share_sessions_via_the_store(service, city):
+    """True statelessness: alternating workers serve one session."""
+    store = InMemorySessionStore()
+    worker_a = SessionApi(service, store, id_factory=lambda: "shared")
+    worker_b = SessionApi(service, store)
+    sid = _create(worker_a, city).body["session_id"]
+    oracle = service.engine.session(city.landmarks["vq"], CATS, page_size=2)
+    for worker in (worker_a, worker_b, worker_a):
+        body = worker.dispatch("POST", f"/v1/sessions/{sid}/pages").body
+        page = oracle.next_page()
+        assert _route_keys(body) == [(r.pois, r.length) for r in page.routes]
+        assert body["resumed"] == page.resumed
+
+
+def test_disk_store_survives_api_instance_turnover(service, city, tmp_path):
+    """Same, but durable: the second worker starts from the directory."""
+    sid = _create(
+        SessionApi(service, DiskSessionStore(tmp_path)),
+        city,
+        session_id="trip",
+    ).body["session_id"]
+    assert sid == "trip"
+    later = SessionApi(service, DiskSessionStore(tmp_path))
+    page = later.dispatch("POST", "/v1/sessions/trip/pages")
+    assert page.status == 200 and page.body["page"] == 1
+
+
+def test_next_page_n_override(api, city):
+    sid = _create(api, city).body["session_id"]
+    body = api.dispatch("POST", f"/v1/sessions/{sid}/pages", {"n": 3}).body
+    assert len(body["routes"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# typed failures -> statuses
+
+
+def test_unknown_session_is_404(api):
+    for method, path in [
+        ("GET", "/v1/sessions/nope"),
+        ("POST", "/v1/sessions/nope/pages"),
+        ("DELETE", "/v1/sessions/nope"),
+    ]:
+        response = api.dispatch(method, path)
+        assert response.status == 404, (method, path)
+        assert response.body["error"] == "SessionNotFoundError"
+
+
+def test_closed_session_is_404_not_keyerror(api, city):
+    sid = _create(api, city).body["session_id"]
+    api.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    assert api.dispatch("DELETE", f"/v1/sessions/{sid}").status == 204
+    after = api.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    assert after.status == 404
+    assert after.body["error"] == "SessionNotFoundError"
+
+
+def test_expired_session_is_410(service, city):
+    now = [0.0]
+    store = InMemorySessionStore(ttl=5.0, clock=lambda: now[0])
+    api = SessionApi(service, store, id_factory=lambda: "e1")
+    _create(api, city)
+    now[0] = 10.0
+    gone = api.dispatch("GET", "/v1/sessions/e1")
+    assert gone.status == 410
+    assert gone.body["error"] == "SessionExpiredError"
+
+
+def test_admission_cap_is_429(api, city):
+    over = _create(api, city, page_size=99)
+    assert over.status == 429
+    assert over.body["error"] == "AdmissionError"
+
+
+def test_store_backpressure_is_429(service, city):
+    api = SessionApi(
+        service, InMemorySessionStore(max_entries=1, evict=False)
+    )
+    assert _create(api, city).status == 201
+    refused = _create(api, city)
+    assert refused.status == 429
+    assert refused.body["error"] == "AdmissionError"
+
+
+def test_session_budget_cap_is_429(city):
+    service = SkySRService(city, max_session_routes=3)
+    api = SessionApi(service, InMemorySessionStore())
+    sid = _create(api, city).body["session_id"]
+    assert api.dispatch("POST", f"/v1/sessions/{sid}/pages").status == 200
+    refused = api.dispatch("POST", f"/v1/sessions/{sid}/pages")
+    assert refused.status == 429
+
+
+@pytest.mark.parametrize(
+    "body, fragment",
+    [
+        ({}, "categories"),
+        ({"categories": []}, "categories"),
+        ({"categories": CATS, "start": 0, "bogus": 1}, "bogus"),
+        ({"categories": CATS}, "start"),
+    ],
+)
+def test_bad_create_bodies_are_400(api, body, fragment):
+    response = api.dispatch("POST", "/v1/sessions", body)
+    assert response.status == 400
+    assert fragment in response.body["message"]
+
+
+def test_bad_page_bodies_are_400(api, city):
+    sid = _create(api, city).body["session_id"]
+    assert (
+        api.dispatch(
+            "POST", f"/v1/sessions/{sid}/pages", {"n": "two"}
+        ).status
+        == 400
+    )
+    assert (
+        api.dispatch(
+            "POST", f"/v1/sessions/{sid}/pages", {"pages": 2}
+        ).status
+        == 400
+    )
+
+
+def test_duplicate_session_id_is_400(api, city):
+    assert _create(api, city, session_id="dup").status == 201
+    assert _create(api, city, session_id="dup").status == 400
+
+
+def test_unsafe_session_id_is_400(api, city):
+    assert _create(api, city, session_id="../etc").status == 400
+
+
+# ---------------------------------------------------------------------------
+# version negotiation and routing
+
+
+@pytest.mark.parametrize("path", ["/v2/sessions", "/v999/sessions"])
+def test_unsupported_api_version_is_rejected(api, path):
+    response = api.dispatch("GET", path)
+    assert response.status == 400
+    assert "unsupported API version" in response.body["message"]
+    assert API_VERSION in response.body["message"]
+
+
+@pytest.mark.parametrize("path", ["/sessions", "/", "/vx/sessions"])
+def test_unversioned_paths_are_rejected(api, path):
+    response = api.dispatch("GET", path)
+    assert response.status == 400
+    assert "version" in response.body["message"]
+
+
+def test_unknown_endpoint_is_400(api):
+    assert api.dispatch("PATCH", "/v1/sessions").status == 400
+    assert api.dispatch("GET", "/v1/sessions/a/pages").status == 400
+    assert api.dispatch("POST", "/v1/other").status == 400
