@@ -1,0 +1,232 @@
+"""Core-query hot path — dict vs CSR vs CSR+ALT vs warm shared cache.
+
+The hardware-bound rework (:mod:`repro.graph.csr`,
+:mod:`repro.graph.landmarks`, :mod:`repro.core.distcache`) only earns
+its keep if the end-to-end query gets faster without changing a single
+answer.  This benchmark measures both and emits the machine-readable
+``BENCH_core_query.json`` artifact at the repo root:
+
+* **scenarios** — the paper's figure-3 shape (tokyo, ``|Sq| = 3``) and
+  figure-4 shape (tokyo, ``|Sq| = 5``);
+* **variants** — ``dict`` (flat adjacency disabled, the pre-CSR hot
+  path), ``csr`` (flat kernels), ``csr_alt`` (flat kernels + landmark
+  lower bounds), ``warm`` (``csr_alt`` behind a shared
+  :class:`~repro.core.distcache.DistanceCache`, timed on the second
+  pass over the workload);
+* per scenario/variant: p50/p95 query latency and mean queue pops,
+  plus the ``csr_alt``/``dict`` p50 ratio and warm-cache hit counters.
+
+Exactness is asserted inline: the ``dict`` and ``csr`` variants must
+return the same routes with the same scores *and the same pop counts*
+on every query (the bit-identical contract of
+:func:`repro.graph.csr.flat_adjacency`), and ``csr_alt`` must return
+the same routes (ALT only sharpens admissible bounds).
+
+A committed baseline of the same file is the regression guard: the
+current ``csr_alt`` p95 on the figure-3 scenario must stay within 2x
+the committed value (with an absolute floor so CI jitter on
+sub-millisecond queries cannot flake the build).  The baseline is read
+*before* the artifact is rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import mean
+from time import perf_counter
+
+from repro.core.distcache import DistanceCache
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.datasets.workloads import generate_workload
+from repro.graph.csr import set_csr_enabled
+from repro.graph.landmarks import landmarks_for
+
+#: timed repetitions per query (latencies pool across the workload),
+#: after one untimed warmup pass per variant.  Within a repetition the
+#: variants run back to back ("paired"): CPU frequency drift then hits
+#: every variant alike instead of skewing whichever block ran while the
+#: machine was busy, which keeps the p50 ratio stable across runs.
+REPEATS = 7
+
+VARIANTS = ("dict", "csr", "csr_alt", "warm")
+#: regression guard: current csr_alt p95 (figure3) may be at most 2x
+#: the committed one, with an absolute floor (seconds) against jitter
+P95_RATIO_LIMIT = 2.0
+P95_FLOOR_S = 0.05
+
+SCENARIOS = [("figure3", 3), ("figure4", 5)]
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_core_query.json"
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _run_scenario(tokyo, workload, alt_options):
+    """Time every variant on every query, paired per repetition.
+
+    Returns ``(latencies, pops, answers, cache)`` — each a dict keyed
+    by variant label.  One untimed pass per variant runs first (it also
+    fills the warm variant's shared cache), so the timed passes measure
+    steady state rather than first-ever-query costs.
+    """
+    cache = DistanceCache(max_entries=512, max_bytes=64 * 2**20)
+    engines = {
+        "dict": (SkySREngine(tokyo.network, tokyo.forest), None, False),
+        "csr": (SkySREngine(tokyo.network, tokyo.forest), None, True),
+        "csr_alt": (
+            SkySREngine(tokyo.network, tokyo.forest),
+            alt_options,
+            True,
+        ),
+        "warm": (
+            SkySREngine(
+                tokyo.network,
+                tokyo.forest,
+                options=alt_options,
+                distance_cache=cache,
+            ),
+            alt_options,
+            True,
+        ),
+    }
+
+    def call(label, query):
+        engine, options, use_csr = engines[label]
+        prev = set_csr_enabled(use_csr)
+        try:
+            return engine.query(
+                query.start, list(query.categories), options=options
+            )
+        finally:
+            set_csr_enabled(prev)
+
+    for label in VARIANTS:
+        for query in workload:
+            call(label, query)
+
+    latencies = {label: [] for label in VARIANTS}
+    pops = {label: [] for label in VARIANTS}
+    answers = {label: [] for label in VARIANTS}
+    for query in workload:
+        last = {}
+        for _ in range(REPEATS):
+            for label in VARIANTS:
+                started = perf_counter()
+                last[label] = call(label, query)
+                latencies[label].append(perf_counter() - started)
+        for label in VARIANTS:
+            pops[label].append(last[label].stats.routes_expanded)
+            answers[label].append(
+                sorted(r.scores() for r in last[label].routes)
+            )
+    return latencies, pops, answers, cache
+
+
+def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
+    baseline_p95 = None
+    if ARTIFACT.exists():  # read BEFORE overwriting
+        baseline_p95 = (
+            json.loads(ARTIFACT.read_text())
+            .get("scenarios", {})
+            .get("figure3", {})
+            .get("csr_alt", {})
+            .get("p95_s")
+        )
+
+    alt_options = BSSROptions(use_landmarks=True)
+
+    # landmark tables are memoized on the network; build them outside
+    # the timed region and report the one-off cost separately
+    started = perf_counter()
+    landmarks_for(tokyo.network)
+    landmark_build_s = perf_counter() - started
+
+    scenarios: dict[str, dict] = {}
+    for name, size in SCENARIOS:
+        workload = generate_workload(
+            tokyo, size, bench_config.queries_per_cell, seed=bench_config.seed
+        )
+        variants: dict[str, dict] = {}
+        latencies, pops, answers, cache = _run_scenario(
+            tokyo, workload, alt_options
+        )
+
+        # Exactness: CSR is bit-identical to dict, pop for pop; ALT and
+        # the shared cache may skip work but never change an answer.
+        assert answers["csr"] == answers["dict"]
+        assert pops["csr"] == pops["dict"]
+        assert answers["csr_alt"] == answers["dict"]
+        assert answers["warm"] == answers["dict"]
+
+        for label in VARIANTS:
+            variants[label] = {
+                "p50_s": _quantile(latencies[label], 0.50),
+                "p95_s": _quantile(latencies[label], 0.95),
+                "pops_mean": mean(pops[label]),
+                "samples": len(latencies[label]),
+            }
+        variants["csr_alt_vs_dict_p50"] = (
+            variants["csr_alt"]["p50_s"] / variants["dict"]["p50_s"]
+        )
+        variants["cache"] = cache.stats.as_dict()
+        scenarios[name] = variants
+
+    # time one representative csr_alt query under pytest-benchmark too
+    sample = generate_workload(tokyo, 3, 1, seed=bench_config.seed)[0]
+    bench_engine = SkySREngine(tokyo.network, tokyo.forest)
+    benchmark.pedantic(
+        lambda: bench_engine.query(
+            sample.start, list(sample.categories), options=alt_options
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    artifact = {
+        "benchmark": "core_query",
+        "config": {
+            "scale": bench_config.scale,
+            "queries_per_scenario": bench_config.queries_per_cell,
+            "repeats": REPEATS,
+            "landmark_build_s": landmark_build_s,
+        },
+        "scenarios": scenarios,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    fig3 = scenarios["figure3"]
+    with capsys.disabled():
+        print()
+        for name, variants in scenarios.items():
+            print(
+                f"core query [{name}]: "
+                + "  ".join(
+                    f"{label} p50={variants[label]['p50_s'] * 1e3:.2f}ms "
+                    f"pops={variants[label]['pops_mean']:.0f}"
+                    for label in ("dict", "csr", "csr_alt", "warm")
+                )
+            )
+        print(
+            f"core query: csr_alt/dict p50 ratio "
+            f"{fig3['csr_alt_vs_dict_p50']:.2f} on figure3, "
+            f"warm hit rate {fig3['cache']['hit_rate']:.2f} "
+            f"-> {ARTIFACT.name}"
+        )
+
+    # The warm pass must actually have hit the shared cache.
+    assert fig3["cache"]["hits"] > 0
+
+    # Regression guard against the committed artifact.
+    if baseline_p95 is not None:
+        p95 = fig3["csr_alt"]["p95_s"]
+        limit = max(P95_RATIO_LIMIT * baseline_p95, P95_FLOOR_S)
+        assert p95 <= limit, (
+            f"csr_alt p95 regressed: {p95:.4f}s > limit {limit:.4f}s "
+            f"(committed baseline {baseline_p95:.4f}s)"
+        )

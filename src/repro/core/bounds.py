@@ -18,6 +18,22 @@ Both are computed with the multi-source multi-destination Dijkstra
 the start (Algorithm 4 lines 3–4): PoIs farther than the best perfect
 route are unreachable by any non-pruned route.  Radius-truncated
 searches return the radius — still a valid lower bound.
+
+With a :class:`~repro.graph.landmarks.LandmarkIndex` supplied
+(``BSSROptions.use_landmarks``), two sharpenings apply on top:
+
+* each leg is maxed with the ALT set-to-set bound over the same
+  restricted candidate sets — it can exceed the Dijkstra value exactly
+  when the multi-source search was radius-truncated or the sets are
+  disconnected;
+* per-position candidate *profiles* (landmark-table extremes over each
+  restricted set) are retained on the result, letting BSSR's pruning
+  test bound the next leg from the concrete last vertex of each
+  partial route — including the start → position-0 leg, which the
+  per-leg family cannot see at all.
+
+Profiles are advisory and never serialized; a restored checkpoint
+recomputes them with the bounds on its next resume.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from repro.core.dominance import SkybandSet
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
 from repro.graph.dijkstra import bounded_dijkstra, multi_source_min_distance
+from repro.graph.landmarks import LandmarkIndex, Profile
 from repro.graph.road_network import RoadNetwork
 
 
@@ -52,6 +69,10 @@ class LowerBounds:
     dest_min: float = 0.0
     legs_ls: list[float] = field(default_factory=list)
     legs_lp: list[float] = field(default_factory=list)
+    #: per-position ALT profiles over the restricted candidate sets
+    #: (``None`` without landmarks); advisory — not serialized, and
+    #: recomputed with the bounds on resume
+    position_profiles: list[Profile | None] | None = None
 
     @classmethod
     def disabled(cls, n: int) -> "LowerBounds":
@@ -88,8 +109,14 @@ def compute_lower_bounds(
     perfect_enabled: bool = True,
     dest_dist: dict[int, float] | None = None,
     stats: SearchStats | None = None,
+    landmarks: LandmarkIndex | None = None,
 ) -> LowerBounds:
-    """Algorithm 4 — compute ``l_s``/``l_p`` legs and their suffixes."""
+    """Algorithm 4 — compute ``l_s``/``l_p`` legs and their suffixes.
+
+    ``landmarks`` optionally sharpens each leg with the ALT set-to-set
+    bound and attaches per-position candidate profiles for BSSR's
+    per-route next-leg floor (see the module docstring).
+    """
     n = query.size
     specs = query.specs
     per_position_np = [spec.best_nonperfect for spec in specs]
@@ -104,31 +131,58 @@ def compute_lower_bounds(
     started = perf_counter()
     radius = skyline.perfect_route_length()  # l̄(ϕ)
     ball: dict[int, float] | None = None
-    if radius < math.inf:
+    if radius < math.inf and landmarks is None:
         ball = bounded_dijkstra(network, query.start, radius)
 
-    def restrict(vids) -> list[int]:
-        if ball is None:
-            return list(vids)
-        return [v for v in vids if v in ball]
+    if radius < math.inf and landmarks is not None:
+        # ALT replaces the exact ball: lb(start, v) > radius implies
+        # d(start, v) > radius, so this keeps a superset of the ball —
+        # legs over supersets are weaker but still valid lower bounds,
+        # and the l̄(ϕ)-ball Dijkstra is skipped entirely.
+        start = query.start
+        within = landmarks.restrict_within
+
+        def restrict(vids) -> list[int]:
+            return within(start, vids, radius)
+
+    else:
+
+        def restrict(vids) -> list[int]:
+            if ball is None:
+                return list(vids)
+            return [v for v in vids if v in ball]
+
+    candidate_sets = [restrict(spec.sim_map) for spec in specs]
+    profiles: list[Profile | None] | None = None
+    if landmarks is not None:
+        profiles = [landmarks.profile(c) for c in candidate_sets]
+        bounds.position_profiles = profiles
 
     legs_ls: list[float] = []
     legs_lp: list[float] = []
     for j in range(n - 1):
-        sources = restrict(specs[j].sim_map)
-        sem_targets = restrict(specs[j + 1].sim_map)
-        legs_ls.append(
-            multi_source_min_distance(
-                network, sources, sem_targets, radius=radius
-            )
+        sources = candidate_sets[j]
+        sem_targets = candidate_sets[j + 1]
+        leg = multi_source_min_distance(
+            network, sources, sem_targets, radius=radius
         )
+        if profiles is not None:
+            alt = landmarks.min_between(profiles[j], profiles[j + 1])
+            if alt > leg:
+                leg = alt
+        legs_ls.append(leg)
         if perfect_enabled:
             perfect_targets = restrict(specs[j + 1].perfect)
-            legs_lp.append(
-                multi_source_min_distance(
-                    network, sources, perfect_targets, radius=radius
-                )
+            leg_p = multi_source_min_distance(
+                network, sources, perfect_targets, radius=radius
             )
+            if profiles is not None:
+                alt_p = landmarks.min_between(
+                    profiles[j], landmarks.profile(perfect_targets)
+                )
+                if alt_p > leg_p:
+                    leg_p = alt_p
+            legs_lp.append(leg_p)
         else:
             legs_lp.append(0.0)
 
@@ -145,7 +199,7 @@ def compute_lower_bounds(
     bounds.legs_lp = legs_lp
 
     if dest_dist is not None and n >= 1:
-        last_candidates = restrict(specs[n - 1].sim_map)
+        last_candidates = candidate_sets[n - 1]
         bounds.dest_min = min(
             (dest_dist.get(p, math.inf) for p in last_candidates),
             default=math.inf,

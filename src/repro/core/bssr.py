@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.bounds import LowerBounds, compute_lower_bounds
+from repro.core.distcache import DistanceCache
 from repro.core.dominance import SkybandSet
 from repro.core.nninit import nninit
 from repro.core.options import BSSROptions
@@ -66,6 +67,7 @@ from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
 from repro.errors import AlgorithmError, QueryError
 from repro.graph.dijkstra import dijkstra
+from repro.graph.landmarks import landmarks_for
 from repro.graph.road_network import RoadNetwork
 from repro.semantics.scoring import DEFAULT_AGGREGATOR, SemanticAggregator
 
@@ -77,6 +79,7 @@ def run_bssr(
     aggregator: SemanticAggregator | None = None,
     options: BSSROptions | None = None,
     precomputed_bounds: LowerBounds | None = None,
+    distance_cache: DistanceCache | None = None,
 ) -> tuple[list[SkylineRoute], SearchStats]:
     """Execute a SkySR query with BSSR; returns (skyline routes, stats).
 
@@ -85,11 +88,20 @@ def run_bssr(
     replaces the per-query Algorithm-4 computation with index lookups;
     destination queries ignore it, since the destination leg bound is
     query-specific.
+
+    ``distance_cache`` shares modified-Dijkstra expansions *across*
+    queries (see :mod:`repro.core.distcache`); it is only consulted
+    under the same disjoint-trees condition as the per-run cache.
     """
     # One-shot callers never resume, so skip the checkpoint machinery:
     # no route archive, no deferred-work retention.
     runner = BSSRSearch(
-        network, query, aggregator, options, checkpointable=False
+        network,
+        query,
+        aggregator,
+        options,
+        checkpointable=False,
+        shared_cache=distance_cache,
     )
     runner.precomputed_bounds = precomputed_bounds
     return runner.run()
@@ -199,12 +211,14 @@ class BSSRSearch:
         options: BSSROptions | None = None,
         *,
         checkpointable: bool = True,
+        shared_cache: DistanceCache | None = None,
     ) -> None:
         self.network = network
         self.query = query
         self.aggregator = aggregator or DEFAULT_AGGREGATOR
         self.options = options or BSSROptions()
         self.checkpointable = checkpointable
+        self.shared_cache = shared_cache
         self.stats = SearchStats(algorithm="bssr")
         # Top-k generalization: with k > 1 the evolving set is the
         # k-skyband and every threshold below becomes the k-th-smallest
@@ -229,6 +243,9 @@ class BSSRSearch:
         self._first_radius_recorded = False
         self._started = False
         self.precomputed_bounds: LowerBounds | None = None
+        # ALT index, bound lazily by _compute_bounds (memoized per
+        # network, so repeated searches pay the table build once)
+        self._landmarks = None
 
     # Durable checkpoints ----------------------------------------------
 
@@ -293,6 +310,11 @@ class BSSRSearch:
                 self.skyline,
                 self.stats,
                 dest_dist=self.dest_dist,
+                landmarks=(
+                    landmarks_for(self.network)
+                    if self.options.use_landmarks
+                    else None
+                ),
             )
             self.stats.init_time = perf_counter() - init_start
             self.stats.extra["init_perfect_length"] = (
@@ -380,6 +402,8 @@ class BSSRSearch:
     # ------------------------------------------------------------------
 
     def _compute_bounds(self) -> None:
+        if self.options.use_landmarks and self.options.lower_bounds:
+            self._landmarks = landmarks_for(self.network)
         self.bounds = compute_lower_bounds(
             self.network,
             self.query,
@@ -388,6 +412,7 @@ class BSSRSearch:
             perfect_enabled=self.options.effective_perfect_bound(),
             dest_dist=self.dest_dist,
             stats=self.stats,
+            landmarks=self._landmarks,
         )
 
     def _rebuild_skyband(self, k: int) -> _ArchivingSkyband:
@@ -410,8 +435,9 @@ class BSSRSearch:
         limit = self.options.max_routes_expanded
         while queue:
             _, _, route, consumed = heapq.heappop(queue)
+            last = route.pois[-1] if route.pois else self.query.start
             if self._prunable(
-                route.length, route.semantic, route.sem_state, route.size
+                route.length, route.semantic, route.sem_state, route.size, last
             ):
                 self.stats.routes_pruned_on_pop += 1
                 self._defer(route, consumed)
@@ -432,12 +458,27 @@ class BSSRSearch:
     # ------------------------------------------------------------------
 
     def _prunable(
-        self, length: float, semantic: float, sem_state, size: int
+        self, length: float, semantic: float, sem_state, size: int, last: int
     ) -> bool:
-        """Lemma 5.3 (with Section 5.3.3 suffixes) + Lemma 5.8."""
+        """Lemma 5.3 (with Section 5.3.3 suffixes) + Lemma 5.8.
+
+        ``last`` is the route's current endpoint (the start vertex for
+        an empty route); with ALT enabled it anchors a route-specific
+        next-leg floor that replaces the generic per-leg minimum when
+        sharper — and covers the start → position-0 leg the generic
+        family omits entirely.
+        """
         skyline = self.skyline
         bounds = self.bounds
         floor = length + bounds.suffix_ls[size] + bounds.dest_min
+        landmarks = self._landmarks
+        if landmarks is not None and size < self.n:
+            profiles = bounds.position_profiles
+            if profiles is not None:
+                alt = landmarks.min_from_vertex(last, profiles[size])
+                generic = bounds.legs_ls[size - 1] if size else 0.0
+                if alt > generic:
+                    floor += alt - generic
         if floor >= skyline.threshold(semantic):
             return True
         if (
@@ -487,11 +528,30 @@ class BSSRSearch:
                 self.stats.cache_hits += 1
                 self.stats.mdijkstra_resumes += 1
                 return search
+            shared = self.shared_cache
+            if shared is not None:
+                # Cross-query reuse rides the same disjoint-trees gate
+                # as the per-run cache: shared searches are exclusion-
+                # free, and their candidate streams are append-only, so
+                # adopting one warm is exact (its expansion cost is
+                # simply already paid).
+                cached = shared.lookup(
+                    self.network, source, spec, stats=self.stats
+                )
+                if cached is not None:
+                    self.state.cache[key] = cached
+                    self.stats.mdijkstra_resumes += 1
+                    self.stats.extra["shared_cache_hits"] = (
+                        self.stats.extra.get("shared_cache_hits", 0) + 1
+                    )
+                    return cached
             search = PoICandidateSearch(
                 self.network, spec, source, stats=self.stats
             )
             self.state.cache[key] = search
             self.stats.mdijkstra_runs += 1
+            if shared is not None:
+                shared.admit(self.network, source, spec, search)
             return search
         search = PoICandidateSearch(
             self.network,
@@ -559,7 +619,7 @@ class BSSRSearch:
                     sims=sims,
                     serial=self.state.next_serial(),
                 )
-                if self._prunable(length, semantic, state, new_size):
+                if self._prunable(length, semantic, state, new_size, vid):
                     self.stats.routes_pruned_on_insert += 1
                     self._defer(child)
                 else:

@@ -192,6 +192,7 @@ class SkySREngine:
         aggregator: SemanticAggregator | None = None,
         options: BSSROptions | None = None,
         preprocessing: bool = False,
+        distance_cache=None,
     ) -> None:
         self.network = network
         self.forest = forest
@@ -201,6 +202,11 @@ class SkySREngine:
         #: build a tree-pair distance index once and serve Algorithm 4's
         #: lower bounds from it (the paper's future-work preprocessing)
         self.preprocessing = preprocessing
+        #: optional cross-query :class:`~repro.core.distcache.DistanceCache`
+        #: shared by every BSSR query this engine answers; ``None``
+        #: (default) keeps queries fully independent, which is what the
+        #: stats-sensitive experiments expect
+        self.distance_cache = distance_cache
         self._index: PoIIndex | None = None
         self._tree_index = None
 
@@ -311,6 +317,7 @@ class SkySREngine:
                 aggregator=self.aggregator,
                 options=opts,
                 precomputed_bounds=precomputed,
+                distance_cache=self.distance_cache,
             )
         elif algorithm in ("dij", "pne"):
             if k > 1:

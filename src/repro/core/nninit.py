@@ -26,6 +26,8 @@ from repro.core.dominance import SkybandSet
 from repro.core.routes import SkylineRoute
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
+from repro.graph.csr import flat_adjacency
+from repro.graph.landmarks import LandmarkIndex
 from repro.graph.road_network import RoadNetwork
 from repro.semantics.scoring import SemanticAggregator
 
@@ -37,6 +39,7 @@ def nninit(
     skyline: SkybandSet,
     stats: SearchStats | None = None,
     dest_dist: dict[int, float] | None = None,
+    landmarks: LandmarkIndex | None = None,
 ) -> list[SkylineRoute]:
     """Seed ``skyline`` with greedily found sequenced routes.
 
@@ -44,6 +47,15 @@ def nninit(
     filtering) so callers can compute Table 7's length ratio.  When the
     query has a destination, ``dest_dist`` (distances *to* the
     destination) must be supplied so seeded lengths are total lengths.
+
+    With ``landmarks`` (and the CSR backend), the *non-last* legs run
+    goal-directed A* toward the position's perfect set instead of plain
+    Dijkstra.  This is sound because those legs only pick the chain's
+    next PoI: the seed stays a real route of its exact length, and BSSR
+    never depends on seed optimality — a (theoretically possible,
+    ~1e-9-relative) suboptimal pick merely weakens the initial
+    thresholds.  The *last* leg must stay distance-ordered: it emits one
+    seed route per semantic match settled before the perfect one.
     """
     n = query.size
     specs = query.specs
@@ -53,52 +65,152 @@ def nninit(
     length = 0.0
     state = aggregator.initial(n)
     source = query.start
+    # Backend choice mirrors the Dijkstra flavors: CSR kernel when
+    # enabled, dict-based otherwise, with identical settle/relax order
+    # and stats counting.
+    flat = flat_adjacency(network)
 
     for position, spec in enumerate(specs):
         is_last = position == n - 1
         used = set(prefix_pois)
-        dist: dict[int, float] = {source: 0.0}
+        sim_of = spec.sim_map.get
+        perfect = spec.perfect
         heap: list[tuple[float, int]] = [(0.0, source)]
-        settled: set[int] = set()
         found: tuple[float, int] | None = None
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if stats is not None:
-                stats.settled += 1
-            usable = u not in used
-            if is_last and usable:
-                sim = spec.sim_map.get(u)
-                if sim is not None:
-                    total = length + d
-                    if dest_dist is not None:
-                        leg = dest_dist.get(u, math.inf)
-                        total = length + d + leg
-                    if total < math.inf:
-                        end_state = aggregator.extend(state, sim)
-                        route = SkylineRoute(
-                            pois=tuple(prefix_pois) + (u,),
-                            length=total,
-                            semantic=aggregator.score(end_state),
-                            sims=tuple(prefix_sims) + (sim,),
-                        )
-                        found_routes.append(route)
-                        skyline.update(route)
-                    if u in spec.perfect:
-                        found = (d, u)
-                        break
-            elif usable and u in spec.perfect:
-                found = (d, u)
-                break
-            for v, w in network.neighbors(u):
-                if stats is not None:
-                    stats.relaxed += 1
-                nd = d + w
-                if nd < dist.get(v, math.inf):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
+        push = heapq.heappush
+        pop = heapq.heappop
+        settled_n = relaxed_n = 0
+        # Backend loops are duplicated (rather than branching per pop /
+        # per edge) so each runs with every array in a local; settle and
+        # relax order — and stats totals — are identical.
+        if (
+            flat is not None
+            and landmarks is not None
+            and not is_last
+            and spec.share_key is not None
+            and perfect
+        ):
+            # Goal-directed A* toward the perfect set.  The landmark
+            # heuristic lower-bounds the distance to the *full* perfect
+            # set, which contains the goal subset (perfect minus used) —
+            # min over a superset is still admissible.  The eps shave
+            # makes it very slightly inconsistent, so a settled vertex
+            # may carry a ~1e-9-relatively suboptimal g; every g is the
+            # length of a real path, which is all seeding needs.  The
+            # heuristic is a memoized flat row (one list index per
+            # relaxation), which is why this path needs a ``share_key``.
+            num_v, indptr, indices, weights = flat
+            dist_row = [math.inf] * num_v
+            dist_row[source] = 0.0
+            settled_row = bytearray(num_v)
+            hrow = landmarks.heuristic_row(
+                ("nninit-perfect", *spec.share_key), perfect
+            )
+            astar = [(hrow[source], 0.0, source)]
+            while astar:
+                _, d, u = pop(astar)
+                if settled_row[u]:
+                    continue
+                settled_row[u] = 1
+                settled_n += 1
+                if u in perfect and u not in used:
+                    found = (d, u)
+                    break
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                relaxed_n += hi - lo
+                for i in range(lo, hi):
+                    v = indices[i]
+                    nd = d + weights[i]
+                    if nd < dist_row[v]:
+                        dist_row[v] = nd
+                        push(astar, (nd + hrow[v], nd, v))
+        elif flat is not None:
+            num_v, indptr, indices, weights = flat
+            dist_row = [math.inf] * num_v
+            dist_row[source] = 0.0
+            settled_row = bytearray(num_v)
+            while heap:
+                d, u = pop(heap)
+                if settled_row[u]:
+                    continue
+                settled_row[u] = 1
+                settled_n += 1
+                usable = u not in used
+                if is_last and usable:
+                    sim = sim_of(u)
+                    if sim is not None:
+                        total = length + d
+                        if dest_dist is not None:
+                            leg = dest_dist.get(u, math.inf)
+                            total = length + d + leg
+                        if total < math.inf:
+                            end_state = aggregator.extend(state, sim)
+                            route = SkylineRoute(
+                                pois=tuple(prefix_pois) + (u,),
+                                length=total,
+                                semantic=aggregator.score(end_state),
+                                sims=tuple(prefix_sims) + (sim,),
+                            )
+                            found_routes.append(route)
+                            skyline.update(route)
+                        if u in perfect:
+                            found = (d, u)
+                            break
+                elif usable and u in perfect:
+                    found = (d, u)
+                    break
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                relaxed_n += hi - lo
+                for i in range(lo, hi):
+                    v = indices[i]
+                    nd = d + weights[i]
+                    if nd < dist_row[v]:
+                        dist_row[v] = nd
+                        push(heap, (nd, v))
+        else:
+            dist: dict[int, float] = {source: 0.0}
+            settled: set[int] = set()
+            while heap:
+                d, u = pop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                settled_n += 1
+                usable = u not in used
+                if is_last and usable:
+                    sim = sim_of(u)
+                    if sim is not None:
+                        total = length + d
+                        if dest_dist is not None:
+                            leg = dest_dist.get(u, math.inf)
+                            total = length + d + leg
+                        if total < math.inf:
+                            end_state = aggregator.extend(state, sim)
+                            route = SkylineRoute(
+                                pois=tuple(prefix_pois) + (u,),
+                                length=total,
+                                semantic=aggregator.score(end_state),
+                                sims=tuple(prefix_sims) + (sim,),
+                            )
+                            found_routes.append(route)
+                            skyline.update(route)
+                        if u in perfect:
+                            found = (d, u)
+                            break
+                elif usable and u in perfect:
+                    found = (d, u)
+                    break
+                for v, w in network.neighbors(u):
+                    relaxed_n += 1
+                    nd = d + w
+                    if nd < dist.get(v, math.inf):
+                        dist[v] = nd
+                        push(heap, (nd, v))
+        if stats is not None:
+            stats.settled += settled_n
+            stats.relaxed += relaxed_n
         if found is None:
             break  # no reachable perfect match: stop seeding, stay exact
         d, u = found

@@ -34,6 +34,14 @@ class BSSROptions:
         caching: reuse modified-Dijkstra expansions via the on-the-fly
             cache (Section 5.3.4).  Automatically (and exactly) bypassed
             when query positions share category trees.
+        use_landmarks: sharpen the Section 5.3.3 bounds with ALT
+            (landmark triangle-inequality) lower bounds from
+            :mod:`repro.graph.landmarks` — both the per-leg minimum
+            distances and a per-route next-leg floor anchored at the
+            route's last vertex (including the otherwise-unbounded
+            start leg).  Requires ``lower_bounds``; pure pruning, never
+            semantics.  The landmark tables are built once per network
+            and memoized.
         k: answer the *top-k* sequenced route query — the search keeps
             expanding until the k-skyband (every route dominated by
             fewer than ``k`` others) is complete, and results expose up
@@ -58,6 +66,7 @@ class BSSROptions:
     lower_bounds: bool = True
     perfect_match_bound: bool = True
     caching: bool = True
+    use_landmarks: bool = False
     k: int = 1
     page_size: int | None = None
     diversity_lambda: float = 0.0

@@ -24,6 +24,13 @@ larger radius — reuse never sacrifices exactness.  Route-independent
 caching is only used when query positions draw candidates from disjoint
 category trees; otherwise BSSR builds throw-away instances with
 per-route exclusions (still exact, no reuse).
+
+Like the plain Dijkstra flavors, the expansion loop has two backends:
+the original dict-based one and a CSR kernel over flat adjacency
+arrays (:mod:`repro.graph.csr`), selected at construction time.  Both
+relax edges in the same order and count stats identically, so emitted
+candidate streams — and serialized checkpoints — are bit-identical
+(``tests/test_csr.py`` pins this).
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from typing import Callable, Iterator
 
 from repro.core.spec import PositionSpec
 from repro.core.stats import SearchStats
+from repro.graph.csr import flat_adjacency
 from repro.graph.road_network import RoadNetwork
 
 
@@ -46,9 +54,11 @@ class PoICandidateSearch:
         "source",
         "_exclude",
         "_stats",
+        "_flat",
         "_dist",
         "_path_sim",
         "_settled",
+        "_touched",
         "_heap",
         "candidates",
         "radius",
@@ -68,16 +78,37 @@ class PoICandidateSearch:
         self.source = source
         self._exclude = exclude
         self._stats = stats
-        self._dist: dict[int, float] = {source: 0.0}
-        # max similarity of any usable PoI strictly on the recorded
-        # shortest path from the source (Lemma 5.5 i)
-        self._path_sim: dict[int, float] = {source: 0.0}
-        self._settled: set[int] = set()
+        self._flat = flat_adjacency(network)
+        if self._flat is not None:
+            n = self._flat[0]
+            self._dist: list[float] | dict[int, float] = [math.inf] * n
+            self._dist[source] = 0.0
+            # max similarity of any usable PoI strictly on the recorded
+            # shortest path from the source (Lemma 5.5 i)
+            self._path_sim: list[float] | dict[int, float] = [0.0] * n
+            self._settled: bytearray | set[int] = bytearray(n)
+            # vertices whose labels went finite, in discovery order;
+            # settled ones are filtered out at serialization time to
+            # match the dict backend (which pops labels on settle)
+            self._touched: list[int] | None = [source]
+        else:
+            self._dist = {source: 0.0}
+            self._path_sim = {source: 0.0}
+            self._settled = set()
+            self._touched = None
         self._heap: list[tuple[float, int]] = [(0.0, source)]
         #: emitted candidates ``(distance, vid, similarity)`` in distance order
         self.candidates: list[tuple[float, int, float]] = []
         #: largest settled distance (the Table 7 "weight sum" proxy)
         self.radius = 0.0
+
+    def adopt_stats(self, stats: SearchStats | None) -> None:
+        """Re-point instrumentation at a different stats sink.
+
+        A search shared across queries (:mod:`repro.core.distcache`)
+        charges its work to whichever consumer is currently driving it.
+        """
+        self._stats = stats
 
     # ------------------------------------------------------------------
     # low-level stepping
@@ -86,8 +117,12 @@ class PoICandidateSearch:
     def _skim(self) -> None:
         heap = self._heap
         settled = self._settled
-        while heap and heap[0][1] in settled:
-            heapq.heappop(heap)
+        if self._flat is not None:
+            while heap and settled[heap[0][1]]:
+                heapq.heappop(heap)
+        else:
+            while heap and heap[0][1] in settled:
+                heapq.heappop(heap)
 
     def next_distance(self) -> float:
         """Distance of the next settle (inf when exhausted)."""
@@ -101,20 +136,64 @@ class PoICandidateSearch:
     def _settle_one(self) -> None:
         """Settle the next vertex: emit, maybe stop-through, relax.
 
-        Per-vertex state (tentative distance, path similarity) is
-        released once a vertex settles — cached searches live for a
-        whole BSSR run (Section 5.3.4), so they keep only what a resume
-        can still read: the frontier and the emitted candidates.
+        In the dict backend, per-vertex state (tentative distance, path
+        similarity) is released once a vertex settles — cached searches
+        live for a whole BSSR run (Section 5.3.4), so they keep only
+        what a resume can still read: the frontier and the emitted
+        candidates.  The flat backend keeps O(|V|) arrays instead and
+        filters settled entries out at checkpoint time.
         """
         d, u = heapq.heappop(self._heap)
-        settled = self._settled
-        settled.add(u)
-        self._dist.pop(u, None)
-        path_sim = self._path_sim.pop(u, 0.0)
         self.radius = d
         stats = self._stats
         if stats is not None:
             stats.settled += 1
+        if self._flat is not None:
+            _, indptr, indices, weights = self._flat
+            settled = self._settled
+            settled[u] = 1
+            path_sim = self._path_sim[u]
+            sim = self._spec.sim_map.get(u)
+            usable = sim is not None and u not in self._exclude
+            if usable and sim > path_sim:  # type: ignore[operator]
+                self.candidates.append((d, u, sim))  # type: ignore[arg-type]
+            if usable and sim >= 1.0:  # type: ignore[operator]
+                return  # Lemma 5.5 (ii): never traverse through a perfect match
+            through = path_sim
+            if usable and sim > through:  # type: ignore[operator]
+                through = sim  # type: ignore[assignment]
+            dist = self._dist
+            heap = self._heap
+            path_sims = self._path_sim
+            touched = self._touched
+            push = heapq.heappush
+            inf = math.inf
+            for i in range(indptr[u], indptr[u + 1]):
+                if stats is not None:
+                    stats.relaxed += 1
+                v = indices[i]
+                if settled[v]:
+                    continue
+                nd = d + weights[i]
+                old = dist[v]
+                if nd < old:
+                    if old == inf:
+                        touched.append(v)  # type: ignore[union-attr]
+                    dist[v] = nd
+                    path_sims[v] = through
+                    push(heap, (nd, v))
+                    if stats is not None:
+                        stats.heap_pushes += 1
+                elif nd == old and through < path_sims[v]:
+                    # Equal-length tie: remember the cleanest path so
+                    # fewer candidates are suppressed (either choice is
+                    # exact).
+                    path_sims[v] = through
+            return
+        settled = self._settled
+        settled.add(u)
+        self._dist.pop(u, None)
+        path_sim = self._path_sim.pop(u, 0.0)
         sim = self._spec.sim_map.get(u)
         usable = sim is not None and u not in self._exclude
         if usable and sim > path_sim:  # type: ignore[operator]
@@ -171,6 +250,9 @@ class PoICandidateSearch:
         budget_fn: Callable[[], float] = (
             budget if callable(budget) else (lambda: budget)  # type: ignore[assignment]
         )
+        if self._flat is not None:
+            yield from self._candidates_until_flat(budget_fn, start)
+            return
         i = start
         while True:
             while i < len(self.candidates):
@@ -183,6 +265,97 @@ class PoICandidateSearch:
             if nxt == math.inf or nxt >= budget_fn():
                 return
             self._settle_one()
+
+    def _candidates_until_flat(
+        self, budget_fn: Callable[[], float], start: int
+    ) -> Iterator[tuple[float, int, float]]:
+        """The CSR fast path of :meth:`candidates_until`.
+
+        Semantically identical to the generic loop (same settles, same
+        stats, same stream), but the settle machinery runs inline with
+        every array in a local.  The budget is re-evaluated only at
+        yield points: between two yields this generator is the only
+        code running, so nothing can tighten the threshold mid-segment.
+        Stats are flushed before every yield and return, so a consumer
+        (or an abandoned generator) never observes partial counts.
+        """
+        _, indptr, indices, weights = self._flat  # type: ignore[misc]
+        sim_of = self._spec.sim_map.get
+        exclude = self._exclude
+        dist = self._dist
+        path_sims = self._path_sim
+        settled = self._settled
+        heap = self._heap
+        touched = self._touched
+        candidates = self.candidates
+        push = heapq.heappush
+        pop = heapq.heappop
+        inf = math.inf
+        i = start
+        while True:
+            limit = budget_fn()
+            while i < len(candidates):
+                entry = candidates[i]
+                if entry[0] >= limit:
+                    return
+                yield entry
+                i += 1
+                limit = budget_fn()
+            # settle until a new candidate is emitted (each settle can
+            # emit at most the vertex it settles) or the budget is hit
+            stats = self._stats  # adopt_stats only happens between yields
+            settled_n = relaxed_n = pushes_n = 0
+            emitted = False
+            while True:
+                while heap and settled[heap[0][1]]:
+                    pop(heap)
+                if not heap or heap[0][0] >= limit:
+                    if stats is not None:
+                        stats.settled += settled_n
+                        stats.relaxed += relaxed_n
+                        stats.heap_pushes += pushes_n
+                    return
+                d, u = pop(heap)
+                settled[u] = 1
+                settled_n += 1
+                self.radius = d
+                path_sim = path_sims[u]
+                sim = sim_of(u)
+                if sim is not None and u not in exclude:
+                    if sim > path_sim:
+                        candidates.append((d, u, sim))
+                        emitted = True
+                    if sim >= 1.0:
+                        if emitted:
+                            break
+                        continue  # Lemma 5.5 (ii): no traversal through
+                    through = sim if sim > path_sim else path_sim
+                else:
+                    through = path_sim
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                relaxed_n += hi - lo
+                for j in range(lo, hi):
+                    v = indices[j]
+                    if settled[v]:
+                        continue
+                    nd = d + weights[j]
+                    old = dist[v]
+                    if nd < old:
+                        if old == inf:
+                            touched.append(v)  # type: ignore[union-attr]
+                        dist[v] = nd
+                        path_sims[v] = through
+                        push(heap, (nd, v))
+                        pushes_n += 1
+                    elif nd == old and through < path_sims[v]:
+                        path_sims[v] = through
+                if emitted:
+                    break
+            if stats is not None:
+                stats.settled += settled_n
+                stats.relaxed += relaxed_n
+                stats.heap_pushes += pushes_n
 
     def expand_fully(self) -> None:
         """Exhaust the search (used by tests and ablations)."""
@@ -200,6 +373,11 @@ class PoICandidateSearch:
         throw-away searches for per-route exclusions), so an exclusion
         set here means the caller is serializing something that should
         never have reached a durable checkpoint.
+
+        Label entries are emitted sorted by vertex id, so the payload is
+        identical whichever backend produced it — a checkpoint written
+        under CSR restores bit-exactly on the dict backend and vice
+        versa.
         """
         from repro.errors import SessionEncodeError
 
@@ -208,11 +386,27 @@ class PoICandidateSearch:
                 "candidate searches with per-route exclusions are "
                 "route-local and cannot be checkpointed"
             )
+        if self._flat is not None:
+            assert self._touched is not None
+            live = sorted(
+                v for v in self._touched if not self._settled[v]
+            )
+            dist_rows = [[v, self._dist[v]] for v in live]
+            sim_rows = [[v, self._path_sim[v]] for v in live]
+            settled_rows = sorted(
+                v for v in self._touched if self._settled[v]
+            )
+        else:
+            dist_rows = [[v, self._dist[v]] for v in sorted(self._dist)]
+            sim_rows = [
+                [v, self._path_sim[v]] for v in sorted(self._path_sim)
+            ]
+            settled_rows = sorted(self._settled)
         return {
             "source": self.source,
-            "dist": [[v, d] for v, d in self._dist.items()],
-            "path_sim": [[v, s] for v, s in self._path_sim.items()],
-            "settled": sorted(self._settled),
+            "dist": dist_rows,
+            "path_sim": sim_rows,
+            "settled": settled_rows,
             "heap": [[d, v] for d, v in self._heap],
             "candidates": [[d, v, s] for d, v, s in self.candidates],
             "radius": self.radius,
@@ -231,11 +425,34 @@ class PoICandidateSearch:
         set, same emitted candidate stream (hence the same deterministic
         ``candidates_until`` replay offsets)."""
         search = cls(network, spec, int(payload["source"]), stats=stats)
-        search._dist = {int(v): float(d) for v, d in payload["dist"]}
-        search._path_sim = {
-            int(v): float(s) for v, s in payload["path_sim"]
-        }
-        search._settled = {int(v) for v in payload["settled"]}
+        if search._flat is not None:
+            n = search._flat[0]
+            dist = [math.inf] * n
+            path_sim = [0.0] * n
+            settled = bytearray(n)
+            touched: list[int] = []
+            for v, d in payload["dist"]:
+                v = int(v)
+                dist[v] = float(d)
+                touched.append(v)
+            for v, s in payload["path_sim"]:
+                path_sim[int(v)] = float(s)
+            for v in payload["settled"]:
+                # settled labels were dropped at checkpoint time; the
+                # settled flag alone is what resumes consult
+                v = int(v)
+                settled[v] = 1
+                touched.append(v)
+            search._dist = dist
+            search._path_sim = path_sim
+            search._settled = settled
+            search._touched = touched
+        else:
+            search._dist = {int(v): float(d) for v, d in payload["dist"]}
+            search._path_sim = {
+                int(v): float(s) for v, s in payload["path_sim"]
+            }
+            search._settled = {int(v) for v in payload["settled"]}
         search._heap = [(float(d), int(v)) for d, v in payload["heap"]]
         heapq.heapify(search._heap)
         search.candidates = [

@@ -557,6 +557,9 @@ def session_from_dict(
         engine.aggregator,
         _require(payload, "search", dict),
     )
+    # Rejoin the engine's cross-query cache (never serialized — cache
+    # membership is a property of the serving engine, not the session).
+    session._search.shared_cache = engine.distance_cache
     session.pages = [
         _page_from_dict(entry)
         for entry in _require(payload, "pages", list)

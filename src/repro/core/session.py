@@ -114,6 +114,7 @@ class PlanningSession:
             self.compiled,
             engine.aggregator,
             opts.but(k=page_size),
+            shared_cache=engine.distance_cache,
         )
         self.pages: list[Page] = []
         self._served: list[SkylineRoute] = []

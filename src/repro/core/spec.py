@@ -64,6 +64,13 @@ class PositionSpec:
             (safe) for this query.
         best_nonperfect: largest candidate similarity strictly below 1,
             or ``None`` when every candidate is perfect.
+        share_key: identity of this spec's matching model *independent
+            of query position* — two specs with equal ``share_key``
+            compile to the same ``sim_map``/``perfect`` under the same
+            engine, so a modified-Dijkstra expansion computed for one
+            can serve the other (the cross-query
+            :class:`~repro.core.distcache.DistanceCache`).  ``None``
+            (e.g. predicate requirements) means not shareable.
     """
 
     index: int
@@ -72,6 +79,7 @@ class PositionSpec:
     perfect: frozenset[int]
     tree_ids: frozenset[int]
     best_nonperfect: float | None = None
+    share_key: tuple | None = None
 
     def similarity(self, vid: int) -> float | None:
         """Similarity of PoI ``vid`` at this position (None = no match)."""
@@ -113,33 +121,55 @@ class CategoryRequirement:
         forest = index.forest
         network = index.network
         cid = self.category
-        sim_map: dict[int, float] = {}
-        perfect: set[int] = set()
-        best_np: float | None = None
-        sim_cache: dict[int, float] = {}
-        for vid in index.pois_in_tree(cid):
-            best = 0.0
-            for poi_cid in network.poi_categories(vid):
-                sim = sim_cache.get(poi_cid)
-                if sim is None:
-                    sim = similarity.similarity(forest, cid, poi_cid)
-                    sim_cache[poi_cid] = sim
-                if sim > best:
-                    best = sim
-            if best <= 0.0:
-                continue
-            sim_map[vid] = best
-            if best >= 1.0:
-                perfect.add(vid)
-            elif best_np is None or best > best_np:
-                best_np = best
+        # The matching model is pure per (index, similarity, category) —
+        # only the position number differs between compilations — and
+        # PoIIndex is an immutable snapshot, so the expensive sim_map
+        # walk is memoized on the index.  The cached containers are
+        # shared across specs and treated as read-only everywhere.
+        cache = getattr(index, "_category_spec_cache", None)
+        if cache is None:
+            cache = {}
+            index._category_spec_cache = cache  # type: ignore[attr-defined]
+        key = (cid, id(similarity))
+        cached = cache.get(key)
+        if cached is None:
+            sim_map: dict[int, float] = {}
+            perfect: set[int] = set()
+            best_np: float | None = None
+            sim_cache: dict[int, float] = {}
+            for vid in index.pois_in_tree(cid):
+                best = 0.0
+                for poi_cid in network.poi_categories(vid):
+                    sim = sim_cache.get(poi_cid)
+                    if sim is None:
+                        sim = similarity.similarity(forest, cid, poi_cid)
+                        sim_cache[poi_cid] = sim
+                    if sim > best:
+                        best = sim
+                if best <= 0.0:
+                    continue
+                sim_map[vid] = best
+                if best >= 1.0:
+                    perfect.add(vid)
+                elif best_np is None or best > best_np:
+                    best_np = best
+            cached = (
+                forest.name_of(cid),
+                sim_map,
+                frozenset(perfect),
+                frozenset({forest.tree_id(cid)}),
+                best_np,
+            )
+            cache[key] = cached
+        label, sim_map, perfect_set, tree_ids, best_np = cached
         return PositionSpec(
             index=position,
-            label=forest.name_of(cid),
+            label=label,
             sim_map=sim_map,
-            perfect=frozenset(perfect),
-            tree_ids=frozenset({forest.tree_id(cid)}),
+            perfect=perfect_set,
+            tree_ids=tree_ids,
             best_nonperfect=best_np,
+            share_key=("cat", cid),
         )
 
     def describe(self, forest: CategoryForest) -> str:

@@ -1,6 +1,13 @@
 """Road-network substrate: graph, Dijkstra variants, PoI index, spatial."""
 
+from repro.graph.csr import (
+    CSRGraph,
+    csr_enabled,
+    csr_graph,
+    set_csr_enabled,
+)
 from repro.graph.dijkstra import (
+    ExpansionCounters,
     ResumableDijkstra,
     bounded_dijkstra,
     dijkstra,
@@ -8,6 +15,7 @@ from repro.graph.dijkstra import (
     multi_source_min_distance,
     shortest_path,
 )
+from repro.graph.landmarks import LandmarkIndex, landmarks_for
 from repro.graph.poi import PoIIndex
 from repro.graph.road_network import RoadNetwork
 from repro.graph.spatial import (
@@ -22,6 +30,13 @@ from repro.graph.spatial import (
 __all__ = [
     "RoadNetwork",
     "PoIIndex",
+    "CSRGraph",
+    "csr_graph",
+    "csr_enabled",
+    "set_csr_enabled",
+    "LandmarkIndex",
+    "landmarks_for",
+    "ExpansionCounters",
     "dijkstra",
     "bounded_dijkstra",
     "shortest_path",

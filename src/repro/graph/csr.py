@@ -1,0 +1,195 @@
+"""CSR adjacency: the hardware-bound form of :class:`RoadNetwork`.
+
+The dict/list adjacency of :class:`~repro.graph.road_network.RoadNetwork`
+is convenient to build but hostile to the hot loops: every relaxation
+hashes a vertex id, allocates a tuple, and chases pointers.
+:class:`CSRGraph` flattens the same topology once into three parallel
+arrays per direction —
+
+* ``indptr``  — vertex ``u``'s out-edges live at ``indptr[u]:indptr[u+1]``;
+* ``indices`` — head vertex of each edge;
+* ``weights`` — edge weight of each edge —
+
+using numpy arrays when numpy is installed (bulk/vectorized consumers,
+e.g. the ALT landmark tables) and :mod:`array` arrays otherwise.  The
+scalar Dijkstra kernels additionally read cached *python-list mirrors*
+of the same arrays: CPython list indexing beats both dict hashing and
+numpy scalar access in a tight interpreted loop, which is what makes
+the CSR kernels measurably faster than the dict-based originals
+(``BENCH_core_query.json`` tracks the delta).
+
+Edge order within a vertex is exactly the insertion order of
+:meth:`RoadNetwork.add_edge`, so CSR-backed searches relax edges in the
+same sequence as ``network.neighbors(u)`` and produce **bit-identical**
+results (same heap pushes, same tie-breaks) — pinned by the property
+layer in ``tests/test_csr.py``.
+
+The CSR view is built lazily and memoized on the network instance; a
+structural mutation (new vertex or edge) invalidates the memo via a
+``(num_vertices, num_edges)`` token.  :func:`set_csr_enabled` toggles
+the whole backend globally — benchmarks use it to compare the dict and
+CSR paths on identical workloads.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.road_network import RoadNetwork
+
+try:  # numpy is optional: CSR falls back to array('q')/array('d')
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: global backend switch (see :func:`set_csr_enabled`)
+_ENABLED = True
+
+#: python-list adjacency mirror: (num_vertices, indptr, indices, weights)
+FlatAdjacency = tuple[int, list[int], list[int], list[float]]
+
+
+def set_csr_enabled(enabled: bool) -> bool:
+    """Toggle the CSR backend globally; returns the previous setting.
+
+    With the backend disabled every Dijkstra flavor runs its original
+    dict-based implementation — the benchmark baseline.  Searches that
+    captured a backend at construction time keep it; the switch only
+    affects searches created afterwards.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def csr_enabled() -> bool:
+    return _ENABLED
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a :class:`RoadNetwork`'s topology.
+
+    ``indptr``/``indices``/``weights`` describe outgoing edges;
+    ``rindptr``/``rindices``/``rweights`` incoming ones (aliases of the
+    forward arrays for undirected networks).  Build via
+    :func:`csr_graph`, which memoizes per network.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "directed",
+        "indptr",
+        "indices",
+        "weights",
+        "rindptr",
+        "rindices",
+        "rweights",
+        "_flat_fwd",
+        "_flat_rev",
+        "_token",
+    )
+
+    def __init__(self, network: "RoadNetwork") -> None:
+        n = network.num_vertices
+        self.num_vertices = n
+        self.num_edges = network.num_edges
+        self.directed = network.directed
+        self.indptr, self.indices, self.weights = self._pack(
+            network.neighbors, n
+        )
+        if network.directed:
+            self.rindptr, self.rindices, self.rweights = self._pack(
+                network.in_neighbors, n
+            )
+        else:
+            self.rindptr = self.indptr
+            self.rindices = self.indices
+            self.rweights = self.weights
+        self._flat_fwd: FlatAdjacency | None = None
+        self._flat_rev: FlatAdjacency | None = None
+        self._token = (n, network.num_edges)
+
+    @staticmethod
+    def _pack(neighbors, n: int):
+        indptr = [0] * (n + 1)
+        indices: list[int] = []
+        weights: list[float] = []
+        for u in range(n):
+            for v, w in neighbors(u):
+                indices.append(v)
+                weights.append(w)
+            indptr[u + 1] = len(indices)
+        if HAVE_NUMPY:
+            return (
+                _np.asarray(indptr, dtype=_np.int64),
+                _np.asarray(indices, dtype=_np.int64),
+                _np.asarray(weights, dtype=_np.float64),
+            )
+        return array("q", indptr), array("q", indices), array("d", weights)
+
+    def flat(self, *, reverse: bool = False) -> FlatAdjacency:
+        """Python-list mirror for the scalar kernels (cached)."""
+        # .tolist() (numpy and array.array alike) yields plain python
+        # ints/floats — list(...) would leak numpy scalars into the
+        # kernels and the heap, which is both slower and not bit-stable.
+        if reverse and self.directed:
+            if self._flat_rev is None:
+                self._flat_rev = (
+                    self.num_vertices,
+                    self.rindptr.tolist(),
+                    self.rindices.tolist(),
+                    self.rweights.tolist(),
+                )
+            return self._flat_rev
+        if self._flat_fwd is None:
+            self._flat_fwd = (
+                self.num_vertices,
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.weights.tolist(),
+            )
+        return self._flat_fwd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"CSRGraph({kind}, |V∪P|={self.num_vertices}, "
+            f"|E|={self.num_edges}, numpy={HAVE_NUMPY})"
+        )
+
+
+def csr_graph(network: "RoadNetwork") -> CSRGraph:
+    """The (memoized) CSR view of ``network``.
+
+    Rebuilt automatically when the network gained vertices or edges
+    since the last call; independent of :func:`set_csr_enabled`, so
+    index structures (e.g. landmarks) can use CSR arrays even while the
+    scalar kernels run the dict baseline.
+    """
+    cached: CSRGraph | None = getattr(network, "_csr_view", None)
+    token = (network.num_vertices, network.num_edges)
+    if cached is not None and cached._token == token:
+        return cached
+    view = CSRGraph(network)
+    network._csr_view = view  # type: ignore[attr-defined]
+    return view
+
+
+def flat_adjacency(
+    network: "RoadNetwork", *, reverse: bool = False
+) -> FlatAdjacency | None:
+    """Python-list CSR mirror, or ``None`` when the backend is disabled.
+
+    This is the single dispatch point of every Dijkstra flavor: a
+    non-``None`` return selects the CSR kernel, ``None`` the original
+    dict-based implementation.
+    """
+    if not _ENABLED:
+        return None
+    return csr_graph(network).flat(reverse=reverse)

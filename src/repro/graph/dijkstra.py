@@ -4,7 +4,8 @@ Four flavors, all lazy-deletion binary-heap implementations over
 :class:`~repro.graph.road_network.RoadNetwork`:
 
 * :func:`dijkstra` — full single-source distances (optionally with
-  predecessors for path reconstruction);
+  predecessors for path reconstruction, optionally terminating early
+  once a ``target`` vertex settles);
 * :func:`bounded_dijkstra` — single-source distances restricted to a
   radius (used to restrict candidate sets to the ``l̄(ϕ)`` ball in
   Algorithm 4 line 3);
@@ -16,6 +17,17 @@ Four flavors, all lazy-deletion binary-heap implementations over
   settled vertices in distance order and can be resumed with a larger
   radius later; this powers both the PNE baseline's progressive
   nearest-neighbor streams and BSSR's on-the-fly cache.
+
+Each flavor has two interchangeable backends behind the same
+signature: the original dict-based implementation, and a CSR kernel
+over flat adjacency arrays (:mod:`repro.graph.csr`) whose inner loop
+indexes python lists instead of hashing dict keys.  Both produce
+bit-identical distances, predecessors and settle orders — edge
+relaxation order and heap tie-breaks are preserved — which the
+property layer pins (``tests/test_csr.py``).  The CSR backend is the
+default; :func:`repro.graph.csr.set_csr_enabled` switches back for
+baseline measurements (and the dict path is the automatic fallback for
+code paths numpy-free environments cannot vectorize anyway).
 """
 
 from __future__ import annotations
@@ -23,8 +35,24 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Callable, Collection
+from dataclasses import dataclass
 
+from repro.graph.csr import flat_adjacency
 from repro.graph.road_network import RoadNetwork
+
+
+@dataclass
+class ExpansionCounters:
+    """Optional instrumentation for a single Dijkstra run.
+
+    Pass an instance via the ``counters`` keyword to observe how much
+    of the graph a search actually touched — the early-termination
+    regression tests assert ``settled`` drops when a ``target`` is
+    supplied, and benchmarks report it as search volume.
+    """
+
+    settled: int = 0
+    relaxed: int = 0
 
 
 def dijkstra(
@@ -33,6 +61,8 @@ def dijkstra(
     *,
     reverse: bool = False,
     with_predecessors: bool = False,
+    target: int | None = None,
+    counters: ExpansionCounters | None = None,
 ) -> dict[int, float] | tuple[dict[int, float], dict[int, int]]:
     """Single-source shortest-path distances.
 
@@ -42,26 +72,81 @@ def dijkstra(
         reverse: traverse incoming edges instead (distances *to*
             ``source``; used by the destination extension).
         with_predecessors: also return the shortest-path tree.
+        target: stop as soon as this vertex settles (its distance is
+            then final).  With a target the returned dict still
+            contains every *touched* vertex, but only settled entries
+            are final — callers that need all distances must omit it.
+        counters: optional :class:`ExpansionCounters` to fill.
     """
+    flat = flat_adjacency(network, reverse=reverse)
+    if flat is not None:
+        n, indptr, indices, weights = flat
+        inf = math.inf
+        dist = [inf] * n
+        dist[source] = 0.0
+        touched = [source]
+        settled = bytearray(n)
+        pred = [-1] * n if with_predecessors else None
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        push, pop = heapq.heappush, heapq.heappop
+        nsettled = 0
+        nrelaxed = 0
+        while heap:
+            d, u = pop(heap)
+            if settled[u]:
+                continue
+            settled[u] = 1
+            nsettled += 1
+            if u == target:
+                break
+            for i in range(indptr[u], indptr[u + 1]):
+                nrelaxed += 1
+                v = indices[i]
+                nd = d + weights[i]
+                if nd < dist[v]:
+                    if dist[v] == inf:
+                        touched.append(v)
+                    dist[v] = nd
+                    if pred is not None:
+                        pred[v] = u
+                    push(heap, (nd, v))
+        if counters is not None:
+            counters.settled += nsettled
+            counters.relaxed += nrelaxed
+        out = {v: dist[v] for v in touched}
+        if with_predecessors:
+            assert pred is not None
+            return out, {v: pred[v] for v in touched if pred[v] >= 0}
+        return out
+
+    # dict-based baseline backend
     neighbors = network.in_neighbors if reverse else network.neighbors
-    dist: dict[int, float] = {source: 0.0}
-    pred: dict[int, int] = {}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
+    dist_map: dict[int, float] = {source: 0.0}
+    pred_map: dict[int, int] | None = {} if with_predecessors else None
+    settled_set: set[int] = set()
+    heap = [(0.0, source)]
     while heap:
         d, u = heapq.heappop(heap)
-        if u in settled:
+        if u in settled_set:
             continue
-        settled.add(u)
+        settled_set.add(u)
+        if counters is not None:
+            counters.settled += 1
+        if u == target:
+            break
         for v, w in neighbors(u):
+            if counters is not None:
+                counters.relaxed += 1
             nd = d + w
-            if nd < dist.get(v, math.inf):
-                dist[v] = nd
-                pred[v] = u
+            if nd < dist_map.get(v, math.inf):
+                dist_map[v] = nd
+                if pred_map is not None:
+                    pred_map[v] = u
                 heapq.heappush(heap, (nd, v))
     if with_predecessors:
-        return dist, pred
-    return dist
+        assert pred_map is not None
+        return dist_map, pred_map
+    return dist_map
 
 
 def bounded_dijkstra(
@@ -70,6 +155,7 @@ def bounded_dijkstra(
     radius: float,
     *,
     reverse: bool = False,
+    counters: ExpansionCounters | None = None,
 ) -> dict[int, float]:
     """Distances from ``source`` strictly below ``radius``.
 
@@ -77,38 +163,88 @@ def bounded_dijkstra(
     ``>= radius`` are omitted.
     """
     if radius == math.inf:
-        result = dijkstra(network, source, reverse=reverse)
+        result = dijkstra(
+            network, source, reverse=reverse, counters=counters
+        )
         assert isinstance(result, dict)
         return result
+    flat = flat_adjacency(network, reverse=reverse)
+    if flat is not None:
+        n, indptr, indices, weights = flat
+        inf = math.inf
+        dist = [inf] * n
+        dist[source] = 0.0
+        settled = bytearray(n)
+        out: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        push, pop = heapq.heappush, heapq.heappop
+        nrelaxed = 0
+        while heap:
+            d, u = pop(heap)
+            if settled[u]:
+                continue
+            if d >= radius:
+                break
+            settled[u] = 1
+            out[u] = d
+            for i in range(indptr[u], indptr[u + 1]):
+                nrelaxed += 1
+                v = indices[i]
+                nd = d + weights[i]
+                if nd < radius and nd < dist[v]:
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        if counters is not None:
+            counters.settled += len(out)
+            counters.relaxed += nrelaxed
+        return out
+
     neighbors = network.in_neighbors if reverse else network.neighbors
-    dist: dict[int, float] = {source: 0.0}
-    out: dict[int, float] = {}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
+    dist_map: dict[int, float] = {source: 0.0}
+    out = {}
+    settled_set: set[int] = set()
+    heap = [(0.0, source)]
     while heap:
         d, u = heapq.heappop(heap)
-        if u in settled:
+        if u in settled_set:
             continue
         if d >= radius:
             break
-        settled.add(u)
+        settled_set.add(u)
+        if counters is not None:
+            counters.settled += 1
         out[u] = d
         for v, w in neighbors(u):
+            if counters is not None:
+                counters.relaxed += 1
             nd = d + w
-            if nd < radius and nd < dist.get(v, math.inf):
-                dist[v] = nd
+            if nd < radius and nd < dist_map.get(v, math.inf):
+                dist_map[v] = nd
                 heapq.heappush(heap, (nd, v))
     return out
 
 
 def shortest_path(
-    network: RoadNetwork, source: int, target: int
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    counters: ExpansionCounters | None = None,
 ) -> tuple[float, list[int]]:
     """Distance and vertex path from ``source`` to ``target``.
 
-    Returns ``(inf, [])`` when unreachable.
+    Terminates as soon as ``target`` settles (its label is then final)
+    instead of exhausting the whole graph — on a preset city this
+    settles a strict subset of the vertices a full run would (pinned by
+    a regression test).  Returns ``(inf, [])`` when unreachable.
     """
-    dist, pred = dijkstra(network, source, with_predecessors=True)
+    dist, pred = dijkstra(
+        network,
+        source,
+        with_predecessors=True,
+        target=target,
+        counters=counters,
+    )
     if target not in dist:
         return math.inf, []
     path = [target]
@@ -124,6 +260,8 @@ def multi_source_min_distance(
     targets: Collection[int],
     *,
     radius: float = math.inf,
+    reverse: bool = False,
+    counters: ExpansionCounters | None = None,
 ) -> float:
     """Minimum network distance between two vertex sets (Lemma 5.9).
 
@@ -133,36 +271,90 @@ def multi_source_min_distance(
     is returned — a valid *lower bound*, which is all the caller
     (Algorithm 4) needs.  Returns ``inf`` when the sets cannot be
     connected at all (and ``0.0`` when the sets overlap).
+
+    ``reverse=True`` traverses incoming edges — the minimum distance
+    from any *target-set* vertex to any *source-set* vertex on a
+    directed graph, matching :func:`dijkstra`'s convention.
     """
     if not sources or not targets:
         return math.inf
     target_set = targets if isinstance(targets, (set, frozenset)) else set(targets)
-    dist: dict[int, float] = {}
-    heap: list[tuple[float, int]] = []
+    flat = flat_adjacency(network, reverse=reverse)
+    if flat is not None:
+        n, indptr, indices, weights = flat
+        inf = math.inf
+        dist = [inf] * n
+        heap: list[tuple[float, int]] = []
+        for s in sources:
+            dist[s] = 0.0
+            heapq.heappush(heap, (0.0, s))
+        settled = bytearray(n)
+        push, pop = heapq.heappush, heapq.heappop
+        settled_n = relaxed_n = 0
+        result = math.inf
+        while heap:
+            d, u = pop(heap)
+            if settled[u]:
+                continue
+            if d >= radius:
+                result = radius
+                break
+            settled[u] = 1
+            settled_n += 1
+            if u in target_set:
+                result = d
+                break
+            lo = indptr[u]
+            hi = indptr[u + 1]
+            relaxed_n += hi - lo
+            for i in range(lo, hi):
+                v = indices[i]
+                nd = d + weights[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        if counters is not None:
+            counters.settled += settled_n
+            counters.relaxed += relaxed_n
+        return result
+
+    neighbors = network.in_neighbors if reverse else network.neighbors
+    dist_map: dict[int, float] = {}
+    heap = []
     for s in sources:
-        dist[s] = 0.0
+        dist_map[s] = 0.0
         heapq.heappush(heap, (0.0, s))
-    settled: set[int] = set()
+    settled_set: set[int] = set()
     while heap:
         d, u = heapq.heappop(heap)
-        if u in settled:
+        if u in settled_set:
             continue
         if d >= radius:
             return radius
-        settled.add(u)
+        settled_set.add(u)
+        if counters is not None:
+            counters.settled += 1
         if u in target_set:
             return d
-        for v, w in network.neighbors(u):
+        for v, w in neighbors(u):
+            if counters is not None:
+                counters.relaxed += 1
             nd = d + w
-            if nd < dist.get(v, math.inf):
-                dist[v] = nd
+            if nd < dist_map.get(v, math.inf):
+                dist_map[v] = nd
                 heapq.heappush(heap, (nd, v))
     return math.inf
 
 
-def eccentricity(network: RoadNetwork, source: int) -> float:
-    """Largest finite shortest-path distance from ``source``."""
-    dist = dijkstra(network, source)
+def eccentricity(
+    network: RoadNetwork, source: int, *, reverse: bool = False
+) -> float:
+    """Largest finite shortest-path distance from ``source``.
+
+    ``reverse=True`` measures the largest distance *to* ``source`` on
+    a directed graph (both directions coincide when undirected).
+    """
+    dist = dijkstra(network, source, reverse=reverse)
     assert isinstance(dist, dict)
     return max(dist.values(), default=0.0)
 
@@ -179,16 +371,33 @@ class ResumableDijkstra:
     The on-the-fly cache of Section 5.3.4 stores one instance per
     (source PoI, query position); the PNE baseline uses one per
     (vertex, category-candidate set) as its progressive nearest-neighbor
-    stream.
+    stream.  Like the function flavors, the instance runs on the CSR
+    backend when enabled at construction time and on the dict backend
+    otherwise, with bit-identical settle sequences.
     """
 
-    __slots__ = ("_network", "source", "_dist", "_settled", "_heap", "radius")
+    __slots__ = (
+        "_network",
+        "source",
+        "_dist",
+        "_settled",
+        "_heap",
+        "radius",
+        "_flat",
+    )
 
     def __init__(self, network: RoadNetwork, source: int) -> None:
         self._network = network
         self.source = source
-        self._dist: dict[int, float] = {source: 0.0}
-        self._settled: set[int] = set()
+        self._flat = flat_adjacency(network)
+        if self._flat is not None:
+            n = self._flat[0]
+            self._dist: list[float] | dict[int, float] = [math.inf] * n
+            self._dist[source] = 0.0
+            self._settled: bytearray | set[int] = bytearray(n)
+        else:
+            self._dist = {source: 0.0}
+            self._settled = set()
         self._heap: list[tuple[float, int]] = [(0.0, source)]
         #: largest settled distance so far
         self.radius = 0.0
@@ -201,8 +410,13 @@ class ResumableDijkstra:
     def _skim(self) -> None:
         """Drop stale heap entries so the head is live."""
         heap = self._heap
-        while heap and heap[0][1] in self._settled:
-            heapq.heappop(heap)
+        settled = self._settled
+        if self._flat is not None:
+            while heap and settled[heap[0][1]]:
+                heapq.heappop(heap)
+        else:
+            while heap and heap[0][1] in settled:
+                heapq.heappop(heap)
 
     def next_distance(self) -> float:
         """Distance at which the next vertex would settle (inf if done)."""
@@ -215,8 +429,22 @@ class ResumableDijkstra:
         if not self._heap:
             return None
         d, u = heapq.heappop(self._heap)
-        self._settled.add(u)
         self.radius = d
+        if self._flat is not None:
+            _, indptr, indices, weights = self._flat
+            dist = self._dist
+            settled = self._settled
+            settled[u] = 1
+            heap = self._heap
+            push = heapq.heappush
+            for i in range(indptr[u], indptr[u + 1]):
+                v = indices[i]
+                nd = d + weights[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    push(heap, (nd, v))
+            return d, u
+        self._settled.add(u)
         for v, w in self._network.neighbors(u):
             nd = d + w
             if nd < self._dist.get(v, math.inf):
@@ -245,6 +473,8 @@ class ResumableDijkstra:
 
     def distance(self, vid: int) -> float:
         """Settled distance to ``vid`` (inf when not settled yet)."""
+        if self._flat is not None:
+            return self._dist[vid] if self._settled[vid] else math.inf
         if vid in self._settled:
             return self._dist[vid]
         return math.inf

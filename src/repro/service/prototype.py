@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.core.distcache import DistanceCache
 from repro.core.engine import SkySREngine, SkySRResult
 from repro.core.options import BSSROptions
 from repro.core.routes import SkylineRoute
@@ -98,7 +99,19 @@ class SkySRService:
             :class:`~repro.errors.AdmissionError`.
         max_session_routes: admission cap on the *cumulative* routes a
             single session may enumerate across all its pages.
+        distance_cache: cross-query Dijkstra cache shared by every
+            request this service answers (see
+            :mod:`repro.core.distcache`).  The default is a modestly
+            budgeted cache — a long-lived service answering repeated
+            queries over one city is exactly the workload it targets.
+            Pass your own instance to tune budgets, or construct a
+            bare :class:`~repro.core.engine.SkySREngine` for
+            cache-free (stats-reproducible) experiments.
     """
+
+    #: default cross-query cache budgets for a service instance
+    DEFAULT_CACHE_ENTRIES = 512
+    DEFAULT_CACHE_BYTES = 64 * 2**20
 
     def __init__(
         self,
@@ -108,10 +121,19 @@ class SkySRService:
         max_routes: int | None = None,
         max_k: int | None = None,
         max_session_routes: int | None = None,
+        distance_cache: DistanceCache | None = None,
     ) -> None:
         self.dataset = dataset
+        if distance_cache is None:
+            distance_cache = DistanceCache(
+                max_entries=self.DEFAULT_CACHE_ENTRIES,
+                max_bytes=self.DEFAULT_CACHE_BYTES,
+            )
         self.engine = SkySREngine(
-            dataset.network, dataset.forest, options=options
+            dataset.network,
+            dataset.forest,
+            options=options,
+            distance_cache=distance_cache,
         )
         self.max_routes = max_routes
         self.max_k = max_k

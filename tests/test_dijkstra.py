@@ -112,6 +112,42 @@ def test_eccentricity():
     assert eccentricity(net, 0) == 4.0  # corner to corner on a 3x3 grid
 
 
+def test_multi_source_reverse_on_directed_graph():
+    net = RoadNetwork(directed=True)
+    a, b, c = (net.add_vertex() for _ in range(3))
+    net.add_edge(a, b, 1.0)
+    net.add_edge(b, c, 1.0)  # only a -> b -> c exists
+    # forward: distance from a source to a target
+    assert multi_source_min_distance(net, [a], [c]) == 2.0
+    assert multi_source_min_distance(net, [c], [a]) == math.inf
+    # reverse: distance from a *target* to a *source* (incoming edges)
+    assert multi_source_min_distance(net, [c], [a], reverse=True) == 2.0
+    assert multi_source_min_distance(net, [a], [c], reverse=True) == math.inf
+
+
+def test_multi_source_reverse_matches_forward_transpose():
+    rng = random.Random(6)
+    net = integer_grid(3, 4, rng, directed=True, extra_edges=4)
+    sources, targets = [0, 7], [4, 11]
+    expected = min(
+        dijkstra(net, t).get(s, math.inf) for s in sources for t in targets
+    )
+    assert (
+        multi_source_min_distance(net, sources, targets, reverse=True)
+        == expected
+    )
+
+
+def test_eccentricity_reverse_on_directed_graph():
+    net = RoadNetwork(directed=True)
+    a, b, c = (net.add_vertex() for _ in range(3))
+    net.add_edge(a, b, 1.0)
+    net.add_edge(b, c, 2.0)
+    assert eccentricity(net, a) == 3.0  # farthest reachable from a
+    assert eccentricity(net, a, reverse=True) == 0.0  # nothing reaches a
+    assert eccentricity(net, c, reverse=True) == 3.0  # a -> c is longest in
+
+
 def test_resumable_settles_in_distance_order():
     rng = random.Random(4)
     net = integer_grid(4, 4, rng, extra_edges=3)
