@@ -1,0 +1,120 @@
+"""Committed-baseline plumbing for the artifact-writing benchmarks.
+
+The perf-guard benchmarks (``bench_core_query.py``,
+``bench_session_store.py``) compare the current run against a value
+read from the committed ``BENCH_*.json`` artifact.  A missing artifact
+— a fresh clone before the first run, or a refactor that renamed a
+guard key — must never *silently* disable that comparison:
+
+* :func:`load_baseline` prints a loud ``no baseline ... writing
+  fresh`` line whenever the committed value is absent, and **fails**
+  instead when ``REPRO_BENCH_CHECK=1`` is set (CI runs with it, so a
+  guard can only be skipped by an explicit, visible decision);
+* ``python benchmarks/baseline.py --check`` verifies that every
+  guarded key exists in the committed artifacts and exits nonzero
+  otherwise — a cheap CI step that catches a renamed or dropped guard
+  column without running any benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: environment switch: set to fail (rather than log) on missing baselines
+CHECK_ENV = "REPRO_BENCH_CHECK"
+
+#: artifact name -> dotted key paths its regression guard compares
+GUARDED: dict[str, tuple[str, ...]] = {
+    "BENCH_core_query.json": (
+        "scenarios.figure3.csr_alt.p95_s",
+        "scenarios.figure3.ch.p95_s",
+        "scenarios.figure3.ch_warm.p95_s",
+    ),
+    "BENCH_session_store.json": ("restore_latency.p95_s",),
+}
+
+
+def read_key(payload: dict, dotted: str):
+    """``payload["a"]["b"]["c"]`` for ``"a.b.c"``; None when absent."""
+    current = payload
+    for part in dotted.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return None
+        current = current[part]
+    return current
+
+
+def load_baseline(artifact: Path, dotted: str):
+    """The committed guard value at ``dotted``, or ``None`` — loudly.
+
+    Call *before* the benchmark rewrites the artifact.  ``None`` means
+    the guard cannot run this time; the benchmark writes a fresh
+    artifact instead.  Under ``REPRO_BENCH_CHECK=1`` a missing baseline
+    is an assertion failure: CI must never skip a regression guard
+    without anyone noticing.
+    """
+    value = None
+    if artifact.exists():
+        value = read_key(json.loads(artifact.read_text()), dotted)
+    if value is None:
+        message = (
+            f"[bench] no baseline for {artifact.name}:{dotted} — "
+            "skipping the regression guard, writing a fresh artifact"
+        )
+        if os.environ.get(CHECK_ENV):
+            raise AssertionError(
+                f"{message} ({CHECK_ENV}=1 forbids silent skips; commit "
+                "a regenerated artifact or fix the guard key)"
+            )
+        print(message)
+    return value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify the committed BENCH_*.json artifacts carry "
+        "every value the benchmark regression guards compare against"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if any guarded artifact/key is missing",
+    )
+    args = parser.parse_args(argv)
+    if not args.check:
+        parser.error("nothing to do; pass --check")
+    failures: list[str] = []
+    checked = 0
+    for name, keys in GUARDED.items():
+        path = ROOT / name
+        if not path.exists():
+            failures.append(f"{name}: artifact missing")
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            failures.append(f"{name}: not valid JSON ({exc})")
+            continue
+        for dotted in keys:
+            checked += 1
+            if read_key(payload, dotted) is None:
+                failures.append(f"{name}: missing guard key {dotted!r}")
+    if failures:
+        for failure in failures:
+            print(f"baseline check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"baseline check OK: {checked} guard key(s) across "
+        f"{len(GUARDED)} artifact(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

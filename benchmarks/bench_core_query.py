@@ -1,9 +1,10 @@
-"""Core-query hot path — dict vs CSR vs CSR+ALT vs warm shared cache.
+"""Core-query hot path — dict vs CSR vs ALT vs CH vs warm caches.
 
 The hardware-bound rework (:mod:`repro.graph.csr`,
-:mod:`repro.graph.landmarks`, :mod:`repro.core.distcache`) only earns
-its keep if the end-to-end query gets faster without changing a single
-answer.  This benchmark measures both and emits the machine-readable
+:mod:`repro.graph.landmarks`, :mod:`repro.graph.contraction`,
+:mod:`repro.core.distcache`) only earns its keep if the end-to-end
+query gets faster without changing a single answer.  This benchmark
+measures both and emits the machine-readable
 ``BENCH_core_query.json`` artifact at the repo root:
 
 * **scenarios** — the paper's figure-3 shape (tokyo, ``|Sq| = 3``) and
@@ -12,21 +13,35 @@ answer.  This benchmark measures both and emits the machine-readable
   path), ``csr`` (flat kernels), ``csr_alt`` (flat kernels + landmark
   lower bounds), ``warm`` (``csr_alt`` behind a shared
   :class:`~repro.core.distcache.DistanceCache`, timed on the second
-  pass over the workload);
+  pass over the workload), ``ch`` (``csr_alt`` plus contraction-
+  hierarchy leg kernels, bucket-cold per query), ``ch_warm`` (``ch``
+  behind a shared cache, so CH target buckets persist across queries);
 * per scenario/variant: p50/p95 query latency and mean queue pops,
-  plus the ``csr_alt``/``dict`` p50 ratio and warm-cache hit counters.
+  plus the ``csr_alt``/``dict`` and ``ch``/``csr_alt`` p50 ratios and
+  cache hit counters (search and CH-bucket traffic separately).
 
 Exactness is asserted inline: the ``dict`` and ``csr`` variants must
 return the same routes with the same scores *and the same pop counts*
 on every query (the bit-identical contract of
-:func:`repro.graph.csr.flat_adjacency`), and ``csr_alt`` must return
-the same routes (ALT only sharpens admissible bounds).
+:func:`repro.graph.csr.flat_adjacency`); ``csr_alt`` must return the
+same routes (ALT only sharpens admissible bounds); the CH variants
+must return the same routes with scores equal after rounding to nine
+decimals — CH sums associate differently from left-to-right search
+sums, so float answers may differ by ULPs (integer-weight graphs are
+covered bit for bit by ``tests/test_contraction.py``).
+
+One-off preprocessing (landmark tables, CH construction) runs outside
+the timed region and is reported separately in the artifact's
+``config`` block, never folded into a latency.
 
 A committed baseline of the same file is the regression guard: the
-current ``csr_alt`` p95 on the figure-3 scenario must stay within 2x
-the committed value (with an absolute floor so CI jitter on
-sub-millisecond queries cannot flake the build).  The baseline is read
-*before* the artifact is rewritten.
+current ``csr_alt``, ``ch``, and ``ch_warm`` p95 on the figure-3
+scenario must stay within 2x their committed values (with an absolute
+floor so CI jitter on sub-millisecond queries cannot flake the build).
+Baselines are read *before* the artifact is rewritten, through
+:func:`benchmarks.baseline.load_baseline` — a missing baseline is
+logged loudly (and fails under ``REPRO_BENCH_CHECK=1``), never
+silently skipped.
 """
 
 from __future__ import annotations
@@ -36,10 +51,12 @@ from pathlib import Path
 from statistics import mean
 from time import perf_counter
 
+from benchmarks.baseline import load_baseline
 from repro.core.distcache import DistanceCache
 from repro.core.engine import SkySREngine
 from repro.core.options import BSSROptions
 from repro.datasets.workloads import generate_workload
+from repro.graph.contraction import contraction_for
 from repro.graph.csr import set_csr_enabled
 from repro.graph.landmarks import landmarks_for
 
@@ -48,11 +65,13 @@ from repro.graph.landmarks import landmarks_for
 #: variants run back to back ("paired"): CPU frequency drift then hits
 #: every variant alike instead of skewing whichever block ran while the
 #: machine was busy, which keeps the p50 ratio stable across runs.
-REPEATS = 7
+REPEATS = 15
 
-VARIANTS = ("dict", "csr", "csr_alt", "warm")
-#: regression guard: current csr_alt p95 (figure3) may be at most 2x
-#: the committed one, with an absolute floor (seconds) against jitter
+VARIANTS = ("dict", "csr", "csr_alt", "warm", "ch", "ch_warm")
+#: variants whose figure-3 p95 is guarded against the committed artifact
+GUARDED_VARIANTS = ("csr_alt", "ch", "ch_warm")
+#: regression guard: each guarded p95 (figure3) may be at most 2x the
+#: committed one, with an absolute floor (seconds) against jitter
 P95_RATIO_LIMIT = 2.0
 P95_FLOOR_S = 0.05
 
@@ -67,15 +86,20 @@ def _quantile(samples: list[float], q: float) -> float:
     return ordered[index]
 
 
-def _run_scenario(tokyo, workload, alt_options):
+def _run_scenario(tokyo, workload, alt_options, ch_options):
     """Time every variant on every query, paired per repetition.
 
-    Returns ``(latencies, pops, answers, cache)`` — each a dict keyed
-    by variant label.  One untimed pass per variant runs first (it also
-    fills the warm variant's shared cache), so the timed passes measure
-    steady state rather than first-ever-query costs.
+    Returns ``(latencies, pops, answers, cache, ch_cache)`` — the first
+    three dicts keyed by variant label.  One untimed pass per variant
+    runs first (it also fills the warm variants' shared caches), so the
+    timed passes measure steady state rather than first-ever-query
+    costs.  ``ch`` runs cache-free — every query rebuilds its target
+    buckets — while ``ch_warm`` keeps them in its own shared
+    :class:`DistanceCache`, so the gap between the two is exactly the
+    downward-sweep work the bucket cache saves.
     """
     cache = DistanceCache(max_entries=512, max_bytes=64 * 2**20)
+    ch_cache = DistanceCache(max_entries=512, max_bytes=64 * 2**20)
     engines = {
         "dict": (SkySREngine(tokyo.network, tokyo.forest), None, False),
         "csr": (SkySREngine(tokyo.network, tokyo.forest), None, True),
@@ -92,6 +116,21 @@ def _run_scenario(tokyo, workload, alt_options):
                 distance_cache=cache,
             ),
             alt_options,
+            True,
+        ),
+        "ch": (
+            SkySREngine(tokyo.network, tokyo.forest),
+            ch_options,
+            True,
+        ),
+        "ch_warm": (
+            SkySREngine(
+                tokyo.network,
+                tokyo.forest,
+                options=ch_options,
+                distance_cache=ch_cache,
+            ),
+            ch_options,
             True,
         ),
     }
@@ -125,27 +164,37 @@ def _run_scenario(tokyo, workload, alt_options):
             answers[label].append(
                 sorted(r.scores() for r in last[label].routes)
             )
-    return latencies, pops, answers, cache
+    return latencies, pops, answers, cache, ch_cache
+
+
+def _rounded(per_query_answers):
+    """Scores rounded to 9 decimals — the CH-vs-search comparison grain
+    (CH sums associate differently, so float answers may differ by ULPs).
+    """
+    return [
+        [tuple(round(x, 9) for x in scores) for scores in query_answers]
+        for query_answers in per_query_answers
+    ]
 
 
 def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
-    baseline_p95 = None
-    if ARTIFACT.exists():  # read BEFORE overwriting
-        baseline_p95 = (
-            json.loads(ARTIFACT.read_text())
-            .get("scenarios", {})
-            .get("figure3", {})
-            .get("csr_alt", {})
-            .get("p95_s")
-        )
+    # read BEFORE overwriting; missing baselines are loud, never silent
+    baselines = {
+        label: load_baseline(ARTIFACT, f"scenarios.figure3.{label}.p95_s")
+        for label in GUARDED_VARIANTS
+    }
 
     alt_options = BSSROptions(use_landmarks=True)
+    ch_options = alt_options.but(use_contraction=True)
 
-    # landmark tables are memoized on the network; build them outside
-    # the timed region and report the one-off cost separately
+    # landmark tables and the contraction hierarchy are memoized on the
+    # network; build both outside the timed region and report the
+    # one-off costs separately
     started = perf_counter()
     landmarks_for(tokyo.network)
     landmark_build_s = perf_counter() - started
+    ch = contraction_for(tokyo.network)
+    ch_preprocess_s = ch.stats.preprocess_s
 
     scenarios: dict[str, dict] = {}
     for name, size in SCENARIOS:
@@ -153,16 +202,19 @@ def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
             tokyo, size, bench_config.queries_per_cell, seed=bench_config.seed
         )
         variants: dict[str, dict] = {}
-        latencies, pops, answers, cache = _run_scenario(
-            tokyo, workload, alt_options
+        latencies, pops, answers, cache, ch_cache = _run_scenario(
+            tokyo, workload, alt_options, ch_options
         )
 
         # Exactness: CSR is bit-identical to dict, pop for pop; ALT and
-        # the shared cache may skip work but never change an answer.
+        # the shared cache may skip work but never change an answer;
+        # the CH variants match at the 9-decimal grain (see module doc).
         assert answers["csr"] == answers["dict"]
         assert pops["csr"] == pops["dict"]
         assert answers["csr_alt"] == answers["dict"]
         assert answers["warm"] == answers["dict"]
+        assert _rounded(answers["ch"]) == _rounded(answers["dict"])
+        assert _rounded(answers["ch_warm"]) == _rounded(answers["dict"])
 
         for label in VARIANTS:
             variants[label] = {
@@ -174,7 +226,11 @@ def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
         variants["csr_alt_vs_dict_p50"] = (
             variants["csr_alt"]["p50_s"] / variants["dict"]["p50_s"]
         )
+        variants["ch_vs_csr_alt_p50"] = (
+            variants["ch"]["p50_s"] / variants["csr_alt"]["p50_s"]
+        )
         variants["cache"] = cache.stats.as_dict()
+        variants["ch_cache"] = ch_cache.stats.as_dict()
         scenarios[name] = variants
 
     # time one representative csr_alt query under pytest-benchmark too
@@ -195,6 +251,8 @@ def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
             "queries_per_scenario": bench_config.queries_per_cell,
             "repeats": REPEATS,
             "landmark_build_s": landmark_build_s,
+            "ch_preprocess_s": ch_preprocess_s,
+            "ch_shortcuts_added": ch.stats.shortcuts_added,
         },
         "scenarios": scenarios,
     }
@@ -209,24 +267,30 @@ def test_core_query_artifact(benchmark, bench_config, tokyo, capsys):
                 + "  ".join(
                     f"{label} p50={variants[label]['p50_s'] * 1e3:.2f}ms "
                     f"pops={variants[label]['pops_mean']:.0f}"
-                    for label in ("dict", "csr", "csr_alt", "warm")
+                    for label in VARIANTS
                 )
             )
         print(
             f"core query: csr_alt/dict p50 ratio "
-            f"{fig3['csr_alt_vs_dict_p50']:.2f} on figure3, "
-            f"warm hit rate {fig3['cache']['hit_rate']:.2f} "
+            f"{fig3['csr_alt_vs_dict_p50']:.2f}, ch/csr_alt p50 ratio "
+            f"{fig3['ch_vs_csr_alt_p50']:.2f} on figure3, "
+            f"warm hit rate {fig3['cache']['hit_rate']:.2f}, "
+            f"ch preprocess {ch_preprocess_s * 1e3:.0f}ms "
             f"-> {ARTIFACT.name}"
         )
 
-    # The warm pass must actually have hit the shared cache.
+    # The warm passes must actually have hit their shared caches —
+    # searches for ``warm``, CH target buckets for ``ch_warm``.
     assert fig3["cache"]["hits"] > 0
+    assert fig3["ch_cache"]["bucket_hits"] > 0
 
     # Regression guard against the committed artifact.
-    if baseline_p95 is not None:
-        p95 = fig3["csr_alt"]["p95_s"]
+    for label, baseline_p95 in baselines.items():
+        if baseline_p95 is None:
+            continue
+        p95 = fig3[label]["p95_s"]
         limit = max(P95_RATIO_LIMIT * baseline_p95, P95_FLOOR_S)
         assert p95 <= limit, (
-            f"csr_alt p95 regressed: {p95:.4f}s > limit {limit:.4f}s "
+            f"{label} p95 regressed: {p95:.4f}s > limit {limit:.4f}s "
             f"(committed baseline {baseline_p95:.4f}s)"
         )

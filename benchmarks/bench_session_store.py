@@ -18,7 +18,9 @@ A committed baseline of the same file is the regression guard: the
 current p95 restore latency must stay within 2x the committed value
 (with an absolute floor so CI jitter on sub-millisecond restores
 cannot flake the build).  The baseline is read *before* the artifact
-is rewritten.
+is rewritten, through :func:`benchmarks.baseline.load_baseline` — a
+missing baseline is logged loudly (and fails under
+``REPRO_BENCH_CHECK=1``), never silently skipped.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from pathlib import Path
 from statistics import mean
 from time import perf_counter
 
+from benchmarks.baseline import load_baseline
 from repro.core.engine import SkySREngine
 from repro.core.options import BSSROptions
 from repro.core.session import PlanningSession
@@ -61,13 +64,8 @@ def test_session_store_artifact(benchmark, bench_config, tokyo, capsys):
         seed=bench_config.seed,
     )
 
-    baseline_p95 = None
-    if ARTIFACT.exists():  # read BEFORE overwriting
-        baseline_p95 = (
-            json.loads(ARTIFACT.read_text())
-            .get("restore_latency", {})
-            .get("p95_s")
-        )
+    # read BEFORE overwriting; a missing baseline is loud, never silent
+    baseline_p95 = load_baseline(ARTIFACT, "restore_latency.p95_s")
 
     store = InMemorySessionStore()
     latencies: list[float] = []

@@ -117,11 +117,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    options = None
+    overrides: dict = {}
     if args.topk > 1:
-        options = BSSROptions().but(
-            k=args.topk, diversity_lambda=args.diverse
-        )
+        overrides["k"] = args.topk
+        overrides["diversity_lambda"] = args.diverse
+    if args.contraction:
+        overrides["use_contraction"] = True
+    options = BSSROptions().but(**overrides) if overrides else None
     result = engine.query(
         start,
         args.categories,
@@ -146,7 +148,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"[{result.algorithm}, {result.stats.elapsed * 1000:.1f} ms]"
         )
         print(result.to_table())
+    if args.stats:
+        _print_stats(engine, result.stats)
     return 0
+
+
+def _print_stats(engine: SkySREngine, search_stats=None) -> None:
+    """``--stats``: engine counters (cache/CH) plus per-query numbers."""
+    payload: dict = {"engine": engine.perf_stats()}
+    if search_stats is not None:
+        payload["query"] = {
+            "elapsed_ms": search_stats.elapsed * 1e3,
+            "routes_expanded": search_stats.routes_expanded,
+            "settled": search_stats.settled,
+            "relaxed": search_stats.relaxed,
+        }
+        ch = search_stats.extra.get("ch")
+        if ch is not None:
+            payload["query"]["ch"] = ch
+    print("# stats")
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _paged_query(engine: SkySREngine, start: int, args) -> int:
@@ -165,6 +186,11 @@ def _paged_query(engine: SkySREngine, start: int, args) -> int:
         destination=args.destination,
         page_size=max(args.topk, 1),
         diversity_lambda=args.diverse,
+        options=(
+            BSSROptions().but(use_contraction=True)
+            if args.contraction
+            else None
+        ),
     )
     page = session.next_page()
     for _ in range(args.page - 1):
@@ -174,6 +200,8 @@ def _paged_query(engine: SkySREngine, start: int, args) -> int:
     _print_page(session, page)
     if args.save_session is not None:
         _save_session_file(args.save_session, args, session)
+    if args.stats:
+        _print_stats(engine, page.stats)
     return 0
 
 
@@ -269,6 +297,8 @@ def _resume_query(args: argparse.Namespace) -> int:
             break
         page = session.next_page()
     _print_page(session, page)
+    if args.stats:
+        _print_stats(engine, page.stats)
     if args.save_session is not None:
         save_args = argparse.Namespace(
             preset=context.get("preset", "mini"),
@@ -366,6 +396,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CATEGORY",
         help="requested category sequence (required unless "
         "--resume-session restores one)",
+    )
+    p_query.add_argument(
+        "--contraction",
+        action="store_true",
+        help="serve leg distances from the contraction hierarchy "
+        "(BSSROptions.use_contraction; preprocessing is memoized per "
+        "dataset and reported by --stats)",
+    )
+    p_query.add_argument(
+        "--stats",
+        action="store_true",
+        help="after the routes, print engine performance counters "
+        "(distance-cache traffic, CH preprocessing) and per-query "
+        "search stats as JSON",
     )
     p_query.add_argument(
         "--save-session",

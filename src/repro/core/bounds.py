@@ -45,8 +45,13 @@ from time import perf_counter
 from repro.core.dominance import SkybandSet
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
+from repro.graph.contraction import (
+    CHDistanceOracle,
+    ContractionHierarchy,
+    shared_bucket,
+)
 from repro.graph.dijkstra import bounded_dijkstra, multi_source_min_distance
-from repro.graph.landmarks import LandmarkIndex, Profile
+from repro.graph.landmarks import LandmarkIndex, Profile, _shaved
 from repro.graph.road_network import RoadNetwork
 
 
@@ -110,12 +115,29 @@ def compute_lower_bounds(
     dest_dist: dict[int, float] | None = None,
     stats: SearchStats | None = None,
     landmarks: LandmarkIndex | None = None,
+    ch: ContractionHierarchy | None = None,
+    shared_cache=None,
 ) -> LowerBounds:
     """Algorithm 4 — compute ``l_s``/``l_p`` legs and their suffixes.
 
     ``landmarks`` optionally sharpens each leg with the ALT set-to-set
     bound and attaches per-position candidate profiles for BSSR's
     per-route next-leg floor (see the module docstring).
+
+    ``ch`` (``BSSROptions.use_contraction``) replaces the multi-source
+    Dijkstras outright: each leg becomes the **exact** set-to-set
+    minimum distance over the *full* candidate sets, served by one
+    multi-source upward sweep against the target set's hub bucket.
+    Full-set minima can only under- (never over-) state the restricted
+    ones, so they stay valid lower bounds; they are also never
+    radius-truncated, which is where they beat the Dijkstra values.
+    Buckets depend only on the target sets and are cached across
+    queries in ``shared_cache`` (a
+    :class:`~repro.core.distcache.DistanceCache`) — a warm query skips
+    every downward sweep.  CH sums associate differently from the
+    search's left-to-right accumulation, so each value is eps-shaved
+    exactly like the ALT bounds before use.  With CH (and no landmark
+    restriction in play) the l̄(ϕ)-ball Dijkstra is skipped entirely.
     """
     n = query.size
     specs = query.specs
@@ -131,7 +153,9 @@ def compute_lower_bounds(
     started = perf_counter()
     radius = skyline.perfect_route_length()  # l̄(ϕ)
     ball: dict[int, float] | None = None
-    if radius < math.inf and landmarks is None:
+    if radius < math.inf and landmarks is None and ch is None:
+        # With CH the legs are exact over the full sets and never
+        # radius-truncated, so the ball buys nothing worth its Dijkstra.
         ball = bounded_dijkstra(network, query.start, radius)
 
     if radius < math.inf and landmarks is not None:
@@ -162,26 +186,95 @@ def compute_lower_bounds(
     legs_lp: list[float] = []
     for j in range(n - 1):
         sources = candidate_sets[j]
-        sem_targets = candidate_sets[j + 1]
-        leg = multi_source_min_distance(
-            network, sources, sem_targets, radius=radius
-        )
+        if ch is not None:
+            # Exact set-to-set minimum over the *full* source and target
+            # sets: both sides are then query-independent, so the value
+            # is a per-network constant the hierarchy memoizes — after
+            # the first query a CH leg costs a dict lookup.  Full-set
+            # minima only under-state restricted ones (still valid), and
+            # the ALT max below restores per-query tightness.
+            bucket = shared_bucket(
+                ch, network, shared_cache, "cands",
+                specs[j + 1].share_key, specs[j + 1].sim_map,
+            )
+            src_key = specs[j].share_key
+            tgt_key = specs[j + 1].share_key
+            if src_key is not None and tgt_key is not None:
+                leg = ch.memo_min(
+                    ("ls", src_key, tgt_key), specs[j].sim_map, bucket
+                )
+                if sources and len(sources) < len(specs[j].sim_map):
+                    # The l̄(ϕ) ball restricted the source side; the
+                    # min of the per-vertex exact floors over just the
+                    # surviving sources is tighter than the full-set
+                    # constant, and each floor is a memoized dict
+                    # lookup (shared with BSSR's per-route floor).
+                    leg = max(
+                        leg,
+                        min(
+                            ch.vertex_min(
+                                "cands", tgt_key, u, specs[j + 1].sim_map
+                            )
+                            for u in sources
+                        ),
+                    )
+            else:
+                leg = ch.min_from_set(sources, bucket)
+            leg = _shaved(leg, 0.0)
+        else:
+            sem_targets = candidate_sets[j + 1]
+            leg = multi_source_min_distance(
+                network, sources, sem_targets, radius=radius
+            )
         if profiles is not None:
             alt = landmarks.min_between(profiles[j], profiles[j + 1])
             if alt > leg:
                 leg = alt
         legs_ls.append(leg)
         if perfect_enabled:
-            perfect_targets = restrict(specs[j + 1].perfect)
-            leg_p = multi_source_min_distance(
-                network, sources, perfect_targets, radius=radius
-            )
-            if profiles is not None:
-                alt_p = landmarks.min_between(
-                    profiles[j], landmarks.profile(perfect_targets)
+            if ch is not None:
+                pbucket = shared_bucket(
+                    ch, network, shared_cache, "perfect",
+                    specs[j + 1].share_key, specs[j + 1].perfect,
                 )
-                if alt_p > leg_p:
-                    leg_p = alt_p
+                if src_key is not None and tgt_key is not None:
+                    leg_p = ch.memo_min(
+                        ("lp", src_key, tgt_key), specs[j].sim_map, pbucket
+                    )
+                    if sources and len(sources) < len(specs[j].sim_map):
+                        leg_p = max(
+                            leg_p,
+                            min(
+                                ch.vertex_min(
+                                    "perfect",
+                                    tgt_key,
+                                    u,
+                                    specs[j + 1].perfect,
+                                )
+                                for u in sources
+                            ),
+                        )
+                else:
+                    leg_p = ch.min_from_set(sources, pbucket)
+                leg_p = _shaved(leg_p, 0.0)
+                if profiles is not None:
+                    alt_p = landmarks.min_between(
+                        profiles[j],
+                        landmarks.profile(restrict(specs[j + 1].perfect)),
+                    )
+                    if alt_p > leg_p:
+                        leg_p = alt_p
+            else:
+                perfect_targets = restrict(specs[j + 1].perfect)
+                leg_p = multi_source_min_distance(
+                    network, sources, perfect_targets, radius=radius
+                )
+                if profiles is not None:
+                    alt_p = landmarks.min_between(
+                        profiles[j], landmarks.profile(perfect_targets)
+                    )
+                    if alt_p > leg_p:
+                        leg_p = alt_p
             legs_lp.append(leg_p)
         else:
             legs_lp.append(0.0)
@@ -200,10 +293,26 @@ def compute_lower_bounds(
 
     if dest_dist is not None and n >= 1:
         last_candidates = candidate_sets[n - 1]
-        bounds.dest_min = min(
-            (dest_dist.get(p, math.inf) for p in last_candidates),
-            default=math.inf,
-        )
+        if ch is not None and isinstance(dest_dist, CHDistanceOracle):
+            # One multi-source sweep against the destination's bucket
+            # beats probing the lazy oracle once per candidate; over the
+            # full last set the value is per-(network, destination), so
+            # it memoizes too.
+            last_key = specs[n - 1].share_key
+            if last_key is not None and query.destination is not None:
+                dest_min = ch.memo_min(
+                    ("dest", last_key, query.destination),
+                    specs[n - 1].sim_map,
+                    dest_dist.bucket,
+                )
+            else:
+                dest_min = ch.min_from_set(last_candidates, dest_dist.bucket)
+            bounds.dest_min = _shaved(dest_min, 0.0)
+        else:
+            bounds.dest_min = min(
+                (dest_dist.get(p, math.inf) for p in last_candidates),
+                default=math.inf,
+            )
 
     if stats is not None:
         stats.bounds_time = perf_counter() - started

@@ -62,12 +62,18 @@ from repro.core.nninit import nninit
 from repro.core.options import BSSROptions
 from repro.core.priority import policy_for
 from repro.core.routes import PartialRoute, SkylineRoute
-from repro.core.search import PoICandidateSearch
+from repro.core.search import CHCandidateStream, PoICandidateSearch
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
 from repro.errors import AlgorithmError, QueryError
+from repro.graph.contraction import (
+    CHDistanceOracle,
+    ch_enabled,
+    contraction_for,
+    shared_bucket,
+)
 from repro.graph.dijkstra import dijkstra
-from repro.graph.landmarks import landmarks_for
+from repro.graph.landmarks import _shaved, landmarks_for
 from repro.graph.road_network import RoadNetwork
 from repro.semantics.scoring import DEFAULT_AGGREGATOR, SemanticAggregator
 
@@ -246,6 +252,13 @@ class BSSRSearch:
         # ALT index, bound lazily by _compute_bounds (memoized per
         # network, so repeated searches pay the table build once)
         self._landmarks = None
+        # CH leg oracle: options flag AND the global gate, decided at
+        # construction (restored searches re-evaluate the gate then)
+        self._use_ch = self.options.use_contraction and ch_enabled()
+        self._ch = None
+        # final-position CH candidate streams, keyed (source, position);
+        # transient — deterministic, rebuilt lazily after a restore
+        self._ch_streams: dict[tuple[int, int], CHCandidateStream] = {}
 
     # Durable checkpoints ----------------------------------------------
 
@@ -297,9 +310,7 @@ class BSSRSearch:
             return [], self.stats
 
         if self.query.destination is not None:
-            self.state.dest_dist = dijkstra(
-                self.network, self.query.destination, reverse=True
-            )  # type: ignore[assignment]
+            self.state.dest_dist = self._make_dest_dist()  # type: ignore[assignment]
 
         if self.options.initial_search:
             init_start = perf_counter()
@@ -315,6 +326,7 @@ class BSSRSearch:
                     if self.options.use_landmarks
                     else None
                 ),
+                ch=self._ch_index() if self._use_ch else None,
             )
             self.stats.init_time = perf_counter() - init_start
             self.stats.extra["init_perfect_length"] = (
@@ -401,6 +413,46 @@ class BSSRSearch:
 
     # ------------------------------------------------------------------
 
+    def _ch_index(self):
+        """The network's (memoized) contraction hierarchy, bound lazily."""
+        if self._ch is None:
+            self._ch = contraction_for(self.network)
+        return self._ch
+
+    def _bucket_cache(self) -> DistanceCache | None:
+        """The cross-query home for CH target buckets.
+
+        Buckets are exact query-independent distances, so unlike shared
+        *searches* they need no disjoint-trees condition — only the
+        ``caching`` flag gates them."""
+        if not self._use_ch or not self.options.caching:
+            return None
+        return self.shared_cache
+
+    def _make_dest_dist(self):
+        """Distances *to* the destination for the final-leg scoring.
+
+        The lazy :class:`CHDistanceOracle` under ``use_contraction``
+        (its bucket rides the cross-query cache, keyed by destination),
+        the eager full reverse Dijkstra otherwise.  Checkpoint restore
+        goes through this same seam so restored sessions carry the same
+        oracle type as live ones.
+        """
+        destination = self.query.destination
+        assert destination is not None
+        if self._use_ch:
+            ch = self._ch_index()
+            bucket = shared_bucket(
+                ch,
+                self.network,
+                self._bucket_cache(),
+                "dest",
+                (destination,),
+                (destination,),
+            )
+            return CHDistanceOracle(ch, destination, bucket)
+        return dijkstra(self.network, destination, reverse=True)
+
     def _compute_bounds(self) -> None:
         if self.options.use_landmarks and self.options.lower_bounds:
             self._landmarks = landmarks_for(self.network)
@@ -413,6 +465,8 @@ class BSSRSearch:
             dest_dist=self.dest_dist,
             stats=self.stats,
             landmarks=self._landmarks,
+            ch=self._ch_index() if self._use_ch else None,
+            shared_cache=self._bucket_cache(),
         )
 
     def _rebuild_skyband(self, k: int) -> _ArchivingSkyband:
@@ -454,6 +508,8 @@ class BSSRSearch:
         self.stats.result_size = len(self.skyline)
         self.stats.skyline_updates = self.skyline.updates
         self.stats.skyline_rejects = self.skyline.rejects
+        if self._ch is not None:
+            self.stats.extra["ch"] = self._ch.stats.as_dict()
 
     # ------------------------------------------------------------------
 
@@ -471,14 +527,40 @@ class BSSRSearch:
         skyline = self.skyline
         bounds = self.bounds
         floor = length + bounds.suffix_ls[size] + bounds.dest_min
-        landmarks = self._landmarks
-        if landmarks is not None and size < self.n:
-            profiles = bounds.position_profiles
-            if profiles is not None:
-                alt = landmarks.min_from_vertex(last, profiles[size])
-                generic = bounds.legs_ls[size - 1] if size else 0.0
-                if alt > generic:
-                    floor += alt - generic
+        if size < self.n:
+            # legs_ls is empty when lower bounds are disabled (or n==1);
+            # the generic per-leg minimum is 0 then, and the anchored
+            # floors below simply add on top.
+            generic = (
+                bounds.legs_ls[size - 1] if size and bounds.legs_ls else 0.0
+            )
+            anchored = 0.0
+            landmarks = self._landmarks
+            if landmarks is not None:
+                profiles = bounds.position_profiles
+                if profiles is not None:
+                    anchored = landmarks.min_from_vertex(
+                        last, profiles[size]
+                    )
+            if self._use_ch and self.options.lower_bounds:
+                # Exact next-leg distance from the concrete endpoint to
+                # the next position's full candidate set — memoized per
+                # (vertex, category) on the hierarchy, so after the
+                # first probe the floor is a dict lookup.  Exact-over-
+                # full and ALT-over-restricted are incomparable; take
+                # the max (eps-shaved like every CH sum).
+                spec = self.query.specs[size]
+                if spec.share_key is not None:
+                    exact = _shaved(
+                        self._ch_index().vertex_min(
+                            "cands", spec.share_key, last, spec.sim_map
+                        ),
+                        0.0,
+                    )
+                    if exact > anchored:
+                        anchored = exact
+            if anchored > generic:
+                floor += anchored - generic
         if floor >= skyline.threshold(semantic):
             return True
         if (
@@ -563,6 +645,43 @@ class BSSRSearch:
         self.stats.mdijkstra_runs += 1
         return search
 
+    def _ch_stream(
+        self, route: PartialRoute, position: int
+    ) -> CHCandidateStream:
+        """The final position's CH label-row stream (see
+        :class:`~repro.core.search.CHCandidateStream`): exact distances
+        to the full candidate set, sorted, no road-graph settles.
+        Streams carry no suppression state, so they are shareable
+        across routes unconditionally — distinctness is enforced by the
+        caller's ``vid in route.pois`` filter either way."""
+        source = route.pois[-1] if route.pois else self.query.start
+        key = (source, position)
+        stream = self._ch_streams.get(key)
+        if stream is None:
+            spec = self.query.specs[position]
+            ch = self._ch_index()
+            if spec.share_key is not None:
+                entries = ch.memo_stream(
+                    spec.share_key, source, spec.sim_map
+                )
+            else:
+                bucket = shared_bucket(
+                    ch,
+                    self.network,
+                    self._bucket_cache(),
+                    "cands",
+                    spec.share_key,
+                    spec.sim_map,
+                )
+                row = ch.distances_from(source, bucket)
+                sim_of = spec.sim_map.__getitem__
+                entries = sorted(
+                    (d, vid, sim_of(vid)) for vid, d in row.items()
+                )
+            stream = CHCandidateStream(entries)
+            self._ch_streams[key] = stream
+        return stream
+
     def _expand(self, route: PartialRoute, consumed: int = 0) -> None:
         """Algorithm 1 lines 7–9: extend ``route`` at its next position.
 
@@ -572,7 +691,6 @@ class BSSRSearch:
         new offset so a resumed search picks up the remainder.
         """
         position = route.size
-        search = self._candidate_search(route, position)
         new_size = position + 1
         aggregator = self.aggregator
         skyline = self.skyline
@@ -588,8 +706,16 @@ class BSSRSearch:
                 - suffix_next
             )
 
+        is_final = new_size == self.n
+        leg_map = self.dest_dist if is_final else None
+        if is_final and self._use_ch:
+            search = self._ch_stream(route, position)
+        else:
+            search = self._candidate_search(route, position)
         index = consumed
-        for d, vid, sim in search.candidates_until(budget, start=consumed):
+        for d, vid, sim, extra in search.scored_until(
+            budget, start=consumed, leg=leg_map
+        ):
             index += 1
             if vid in route.pois:
                 continue  # distinctness (Definition 3.4 iii)
@@ -598,13 +724,12 @@ class BSSRSearch:
             length = route.length + d
             sims = route.sims + (sim,)
             pois = route.pois + (vid,)
-            if new_size == self.n:
+            if is_final:
                 total = length
-                if self.dest_dist is not None:
-                    leg = self.dest_dist.get(vid, math.inf)
-                    if leg == math.inf:
+                if leg_map is not None:
+                    if extra == math.inf:
                         continue
-                    total = length + leg
+                    total = length + extra
                 skyline.update(
                     SkylineRoute(
                         pois=pois, length=total, semantic=semantic, sims=sims

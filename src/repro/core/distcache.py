@@ -54,13 +54,21 @@ _DICT_ENTRY_BYTES = 72
 
 @dataclass
 class CacheStats:
-    """Operation counters (shape mirrors ``repro.store.StoreStats``)."""
+    """Operation counters (shape mirrors ``repro.store.StoreStats``).
+
+    ``bucket_hits``/``bucket_misses`` count the CH target-bucket side
+    (:meth:`DistanceCache.lookup_bucket`) separately from the search
+    side — a warm bucket hit is a skipped set of downward sweeps, not a
+    skipped modified Dijkstra, and the benchmarks report both.
+    """
 
     hits: int = 0
     misses: int = 0
     admissions: int = 0
     evictions: int = 0
     unshareable: int = 0
+    bucket_hits: int = 0
+    bucket_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -74,13 +82,15 @@ class CacheStats:
             "admissions": self.admissions,
             "evictions": self.evictions,
             "unshareable": self.unshareable,
+            "bucket_hits": self.bucket_hits,
+            "bucket_misses": self.bucket_misses,
             "hit_rate": self.hit_rate,
         }
 
 
 @dataclass
 class _Entry:
-    search: PoICandidateSearch
+    value: object  # a live PoICandidateSearch or a CH target bucket
     size: int
     last_used: int
 
@@ -166,8 +176,10 @@ class DistanceCache:
             return None
         entry.last_used = next(self._recency)
         self.stats.hits += 1
-        entry.search.adopt_stats(stats)
-        return entry.search
+        search = entry.value
+        assert isinstance(search, PoICandidateSearch)
+        search.adopt_stats(stats)
+        return search
 
     def admit(
         self,
@@ -190,7 +202,42 @@ class DistanceCache:
         if self.max_bytes is not None and size > self.max_bytes:
             return False
         self._entries[key] = _Entry(
-            search=search, size=size, last_used=next(self._recency)
+            value=search, size=size, last_used=next(self._recency)
+        )
+        self.stats.admissions += 1
+        self._evict_over_budget(keep=key)
+        return True
+
+    # ------------------------------------------------------------------
+    # CH target buckets (see repro.graph.contraction.shared_bucket)
+
+    def lookup_bucket(self, network: RoadNetwork, key: tuple):
+        """The cached CH target bucket under ``key``, or ``None``.
+
+        Buckets depend only on (network, target set) — the caller
+        builds keys from the hierarchy token plus a ``share_key``, so a
+        hit makes a warm query skip every backward (downward-serving)
+        sweep for that target set."""
+        self._bind(network)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.bucket_misses += 1
+            return None
+        entry.last_used = next(self._recency)
+        self.stats.bucket_hits += 1
+        return entry.value
+
+    def admit_bucket(self, network: RoadNetwork, key: tuple, bucket) -> bool:
+        """Offer a freshly built CH target bucket for future queries."""
+        self._bind(network)
+        pairs = bucket.pairs
+        size = _DICT_ENTRY_BYTES * (
+            2 * len(pairs) + sum(len(row) for row in pairs.values())
+        )
+        if self.max_bytes is not None and size > self.max_bytes:
+            return False
+        self._entries[key] = _Entry(
+            value=bucket, size=size, last_used=next(self._recency)
         )
         self.stats.admissions += 1
         self._evict_over_budget(keep=key)

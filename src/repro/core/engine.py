@@ -394,6 +394,28 @@ class SkySREngine:
 
     # ------------------------------------------------------------------
 
+    def perf_stats(self) -> dict:
+        """Engine-level performance counters (service/CLI ``stats``).
+
+        Reports the cross-query :class:`~repro.core.distcache.DistanceCache`
+        (search hits/misses plus CH bucket traffic) and, when a
+        contraction hierarchy has been built for this network, its
+        preprocessing stats.  Purely observational — never builds an
+        index, so calling it on a cold engine is free.
+        """
+        out: dict = {}
+        cache = self.distance_cache
+        if cache is not None:
+            out["distance_cache"] = {
+                "entries": len(cache),
+                "bytes": cache.total_bytes,
+                **cache.stats.as_dict(),
+            }
+        ch = getattr(self.network, "_ch_index", None)
+        if ch is not None:
+            out["contraction"] = ch.stats.as_dict()
+        return out
+
     def _plain_category_ids(self, categories: list) -> list[int]:
         """The naive baselines need a plain category sequence."""
         cids: list[int] = []

@@ -26,10 +26,21 @@ from repro.core.dominance import SkybandSet
 from repro.core.routes import SkylineRoute
 from repro.core.spec import CompiledQuery
 from repro.core.stats import SearchStats
+from repro.graph.contraction import ContractionHierarchy
 from repro.graph.csr import flat_adjacency
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.road_network import RoadNetwork
 from repro.semantics.scoring import SemanticAggregator
+
+
+class _SweepCounters:
+    """Settle/relax sink for CH sweeps (shape of ExpansionCounters)."""
+
+    __slots__ = ("settled", "relaxed")
+
+    def __init__(self) -> None:
+        self.settled = 0
+        self.relaxed = 0
 
 
 def nninit(
@@ -40,6 +51,7 @@ def nninit(
     stats: SearchStats | None = None,
     dest_dist: dict[int, float] | None = None,
     landmarks: LandmarkIndex | None = None,
+    ch: ContractionHierarchy | None = None,
 ) -> list[SkylineRoute]:
     """Seed ``skyline`` with greedily found sequenced routes.
 
@@ -56,6 +68,16 @@ def nninit(
     ~1e-9-relative) suboptimal pick merely weakens the initial
     thresholds.  The *last* leg must stay distance-ordered: it emits one
     seed route per semantic match settled before the perfect one.
+
+    With ``ch`` (``BSSROptions.use_contraction``), legs with a
+    ``share_key`` replace graph traversal entirely: one forward upward
+    sweep against the position's cached target bucket yields exact
+    distances to every candidate.  Non-last legs pick the ``(d, vid)``-
+    smallest unused perfect match — the vertex Dijkstra would settle
+    first; the last leg replays the settle order by iterating candidates
+    sorted by ``(d, vid)``, emitting the same seeds and stopping at the
+    same perfect match.  Legs without a ``share_key`` (or without
+    perfect matches) fall back per-leg to the scalar kernels.
     """
     n = query.size
     specs = query.specs
@@ -83,7 +105,46 @@ def nninit(
         # Backend loops are duplicated (rather than branching per pop /
         # per edge) so each runs with every array in a local; settle and
         # relax order — and stats totals — are identical.
-        if (
+        if ch is not None and spec.share_key is not None and perfect:
+            counters = _SweepCounters()
+            if is_last:
+                row = ch.memo_row(
+                    "cands", spec.share_key, source, spec.sim_map, counters
+                )
+                for d, u in sorted((d, u) for u, d in row.items()):
+                    if u in used:
+                        continue
+                    sim = sim_of(u)
+                    if sim is None:
+                        continue
+                    total = length + d
+                    if dest_dist is not None:
+                        leg = dest_dist.get(u, math.inf)
+                        total = length + d + leg
+                    if total < math.inf:
+                        end_state = aggregator.extend(state, sim)
+                        route = SkylineRoute(
+                            pois=tuple(prefix_pois) + (u,),
+                            length=total,
+                            semantic=aggregator.score(end_state),
+                            sims=tuple(prefix_sims) + (sim,),
+                        )
+                        found_routes.append(route)
+                        skyline.update(route)
+                    if u in perfect:
+                        found = (d, u)
+                        break
+            else:
+                row = ch.memo_row(
+                    "perfect", spec.share_key, source, perfect, counters
+                )
+                found = min(
+                    ((d, u) for u, d in row.items() if u not in used),
+                    default=None,
+                )
+            settled_n = counters.settled
+            relaxed_n = counters.relaxed
+        elif (
             flat is not None
             and landmarks is not None
             and not is_last

@@ -42,6 +42,18 @@ class BSSROptions:
             start leg).  Requires ``lower_bounds``; pure pruning, never
             semantics.  The landmark tables are built once per network
             and memoized.
+        use_contraction: serve exact legs from the contraction
+            hierarchy (:mod:`repro.graph.contraction`, memoized per
+            network): the Section 5.3.3 leg bounds become exact
+            set-to-set minima, NNinit's chain runs on one-to-many
+            upward sweeps, and destination queries replace the eager
+            full reverse Dijkstra with a lazy CH oracle.  Pure
+            pruning/acceleration — result scores are unchanged (equal
+            bit for bit on integer-weight graphs; within float
+            round-off of the summation order otherwise, which the
+            eps-shaved bounds absorb).  Also gated globally by
+            :func:`repro.graph.contraction.set_ch_enabled` /
+            ``REPRO_DISABLE_CH=1``.
         k: answer the *top-k* sequenced route query — the search keeps
             expanding until the k-skyband (every route dominated by
             fewer than ``k`` others) is complete, and results expose up
@@ -67,6 +79,7 @@ class BSSROptions:
     perfect_match_bound: bool = True
     caching: bool = True
     use_landmarks: bool = False
+    use_contraction: bool = False
     k: int = 1
     page_size: int | None = None
     diversity_lambda: float = 0.0

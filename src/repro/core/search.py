@@ -45,6 +45,64 @@ from repro.graph.csr import flat_adjacency
 from repro.graph.road_network import RoadNetwork
 
 
+class CHCandidateStream:
+    """A final-position candidate stream served from a CH label row.
+
+    With contraction hierarchies enabled, the *last* position's
+    expansion does not need the modified Dijkstra at all: the exact
+    one-to-many row from the route's endpoint to the position's full
+    candidate set (one memoized label scan) is emitted sorted by
+    ``(distance, vertex)`` — the heap's own tie-break.  No road-graph
+    vertex is settled, so final-leg expansion cost stops scaling with
+    the settle radius.
+
+    Exactness: Lemma 5.5's filters only ever suppress *dominated*
+    candidates, so emitting the unfiltered superset is skyline-exact —
+    suppressed completions now lose inside the skyband instead of never
+    being scored.  Distances are true shortest-path values (a
+    modified-Dijkstra distance can exceed them when the shortest path
+    runs through a perfect match; either way the completion is
+    dominated by the route using that match, which is also scored).
+    With ``k`` > 1 the relaxed skyband may therefore retain an
+    alternative the substitution filters would have collapsed — the
+    skyline level is identical, the alternatives are equivalent
+    substitutions.
+
+    The interface mirrors the consumer-facing subset of
+    :class:`PoICandidateSearch` (``scored_until`` / ``candidates`` /
+    ``exhausted`` / ``radius``), and ``start`` offsets address this
+    stream's deterministic order — checkpoints written over CH streams
+    are only restorable with CH enabled (serialization guards this).
+    """
+
+    __slots__ = ("candidates", "radius")
+
+    #: the row is complete by construction; only budgets cut it short
+    exhausted = True
+
+    def __init__(self, entries: list[tuple[float, int, float]]) -> None:
+        self.candidates = entries
+        self.radius = entries[-1][0] if entries else 0.0
+
+    def scored_until(
+        self,
+        budget: Callable[[], float] | float,
+        *,
+        start: int = 0,
+        leg=None,
+    ) -> Iterator[tuple[float, int, float, float]]:
+        budget_fn: Callable[[], float] = (
+            budget if callable(budget) else (lambda: budget)  # type: ignore[assignment]
+        )
+        get = leg.get if leg is not None else None
+        candidates = self.candidates
+        for i in range(start, len(candidates)):
+            d, vid, sim = candidates[i]
+            if d >= budget_fn():
+                return
+            yield d, vid, sim, 0.0 if get is None else get(vid, math.inf)
+
+
 class PoICandidateSearch:
     """Resumable modified Dijkstra toward one position's candidates."""
 
@@ -265,6 +323,32 @@ class PoICandidateSearch:
             if nxt == math.inf or nxt >= budget_fn():
                 return
             self._settle_one()
+
+    def scored_until(
+        self,
+        budget: Callable[[], float] | float,
+        *,
+        start: int = 0,
+        leg=None,
+    ) -> Iterator[tuple[float, int, float, float]]:
+        """:meth:`candidates_until` plus the consumer's extra-leg score.
+
+        Yields ``(distance, vid, path_sim, extra)`` where ``extra`` is
+        ``leg.get(vid, inf)`` — the final-position destination leg of
+        BSSR's expansion, from any ``.get``-able mapping (an eager
+        Dijkstra dict or the lazy
+        :class:`~repro.graph.contraction.CHDistanceOracle`) — or ``0.0``
+        without a ``leg``.  Centralizing the lookup keeps candidate
+        scoring behind one seam; the stream and its budget/offset
+        semantics are untouched (pop-identical).
+        """
+        if leg is None:
+            for d, vid, sim in self.candidates_until(budget, start=start):
+                yield d, vid, sim, 0.0
+        else:
+            get = leg.get
+            for d, vid, sim in self.candidates_until(budget, start=start):
+                yield d, vid, sim, get(vid, math.inf)
 
     def _candidates_until_flat(
         self, budget_fn: Callable[[], float], start: int

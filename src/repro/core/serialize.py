@@ -55,7 +55,7 @@ from repro.errors import (
     SessionDecodeError,
     SessionEncodeError,
 )
-from repro.graph.dijkstra import dijkstra
+from repro.graph.contraction import ch_enabled
 from repro.semantics.scoring import SemanticAggregator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -302,6 +302,18 @@ def search_from_dict(
             _require(payload, "options", dict, where="search")
         ),
     )
+    if options.use_contraction and not ch_enabled():
+        # CH candidate streams order (and superset) the final position's
+        # stream differently from the modified Dijkstra; consumed
+        # offsets in the payload address that stream, so restoring with
+        # CH disabled would silently misalign them.
+        raise SessionDecodeError(
+            "session was checkpointed with contraction-hierarchy "
+            "candidate streams (use_contraction=true) but CH is "
+            "disabled in this process (REPRO_DISABLE_CH / "
+            "set_ch_enabled); stream offsets would not line up",
+            field="options",
+        )
     search = BSSRSearch(
         network, query, aggregator, options, checkpointable=True
     )
@@ -406,9 +418,10 @@ def search_from_dict(
     )
     # Reverse distances to the destination are deterministic, so they
     # are recomputed instead of shipped (run() computes them itself for
-    # a not-yet-started search).
+    # a not-yet-started search).  _make_dest_dist keeps the oracle type
+    # (eager dict vs lazy CH oracle) matching a live search's.
     if search._started and query.destination is not None:
-        state.dest_dist = dijkstra(network, query.destination, reverse=True)
+        state.dest_dist = search._make_dest_dist()
     return search
 
 

@@ -33,8 +33,9 @@ CSR paths on identical workloads.
 
 from __future__ import annotations
 
+import os
 from array import array
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.road_network import RoadNetwork
@@ -48,6 +49,27 @@ HAVE_NUMPY = _np is not None
 
 #: global backend switch (see :func:`set_csr_enabled`)
 _ENABLED = True
+
+#: vectorized-kernel switch — numpy presence, minus the CI kill switch
+_NUMPY_ENABLED = HAVE_NUMPY and not os.environ.get("REPRO_DISABLE_NUMPY")
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Toggle the vectorized numpy kernels; returns the previous setting.
+
+    Forced off permanently when numpy is not importable; pre-seeded off
+    by ``REPRO_DISABLE_NUMPY=1`` so CI can prove the scalar fallback on
+    a numpy-equipped machine.  Only the batched sweep dispatch listens
+    to this — CSR array *storage* keeps whatever numpy decision was
+    made at import."""
+    global _NUMPY_ENABLED
+    previous = _NUMPY_ENABLED
+    _NUMPY_ENABLED = bool(enabled) and HAVE_NUMPY
+    return previous
+
+
+def numpy_enabled() -> bool:
+    return _NUMPY_ENABLED
 
 #: python-list adjacency mirror: (num_vertices, indptr, indices, weights)
 FlatAdjacency = tuple[int, list[int], list[int], list[float]]
@@ -92,6 +114,8 @@ class CSRGraph:
         "rweights",
         "_flat_fwd",
         "_flat_rev",
+        "_tails_fwd",
+        "_tails_rev",
         "_token",
     )
 
@@ -113,6 +137,8 @@ class CSRGraph:
             self.rweights = self.weights
         self._flat_fwd: FlatAdjacency | None = None
         self._flat_rev: FlatAdjacency | None = None
+        self._tails_fwd = None
+        self._tails_rev = None
         self._token = (n, network.num_edges)
 
     @staticmethod
@@ -156,6 +182,28 @@ class CSRGraph:
             )
         return self._flat_fwd
 
+    def tails(self, *, reverse: bool = False):
+        """Per-edge tail-vertex array (numpy builds only, cached).
+
+        The CSR triplet implicitly encodes each edge's tail via the
+        ``indptr`` ranges; the batched relaxation kernel needs it
+        explicit to gather ``dist[tail] + weight`` in one shot.
+        """
+        assert HAVE_NUMPY
+        if reverse and self.directed:
+            if self._tails_rev is None:
+                self._tails_rev = _np.repeat(
+                    _np.arange(self.num_vertices, dtype=_np.int64),
+                    _np.diff(self.rindptr),
+                )
+            return self._tails_rev
+        if self._tails_fwd is None:
+            self._tails_fwd = _np.repeat(
+                _np.arange(self.num_vertices, dtype=_np.int64),
+                _np.diff(self.indptr),
+            )
+        return self._tails_fwd
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "directed" if self.directed else "undirected"
         return (
@@ -193,3 +241,52 @@ def flat_adjacency(
     if not _ENABLED:
         return None
     return csr_graph(network).flat(reverse=reverse)
+
+
+def batched_min_distances(
+    network: "RoadNetwork",
+    sources: Iterable[int],
+    *,
+    reverse: bool = False,
+) -> list[float] | None:
+    """Vectorized multi-source sweep: per-vertex min distance from any
+    source, or ``None`` when the numpy kernels are unavailable/disabled.
+
+    A frontier-driven Bellman–Ford fixpoint over the flat arrays: each
+    round gathers ``dist[tail] + weight`` for every edge leaving an
+    improved vertex and scatter-minimizes into the heads.  The result
+    is **bit-identical** to the scalar Dijkstra labels: with
+    non-negative weights both compute, per vertex, the minimum over all
+    paths of the left-to-right float sum of edge weights (float ``+``
+    is monotone and float ``min`` order-independent), so the fixpoint
+    is unique.  Pinned by the property layer in ``tests/test_csr.py``.
+
+    This is a *bulk* kernel — it always relaxes to the full fixpoint,
+    so it backs build-time paths (landmark tables, eccentricities,
+    untruncated multi-source queries), never the radius-truncated
+    early-exit searches where the scalar kernel's laziness wins.
+    """
+    if not _NUMPY_ENABLED:
+        return None
+    g = csr_graph(network)
+    n = g.num_vertices
+    if n == 0:
+        return []
+    use_rev = reverse and g.directed
+    indices = g.rindices if use_rev else g.indices
+    weights = g.rweights if use_rev else g.weights
+    tails = g.tails(reverse=reverse)
+    dist = _np.full(n, _np.inf)
+    src = _np.fromiter(sources, dtype=_np.int64)
+    dist[src] = 0.0
+    frontier = _np.zeros(n, dtype=bool)
+    frontier[src] = True
+    while frontier.any():
+        live = frontier[tails]
+        heads = indices[live]
+        cand = dist[tails[live]] + weights[live]
+        improved = dist.copy()
+        _np.minimum.at(improved, heads, cand)
+        frontier = improved < dist
+        dist = improved
+    return dist.tolist()

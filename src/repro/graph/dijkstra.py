@@ -37,7 +37,7 @@ import math
 from collections.abc import Callable, Collection
 from dataclasses import dataclass
 
-from repro.graph.csr import flat_adjacency
+from repro.graph.csr import batched_min_distances, flat_adjacency
 from repro.graph.road_network import RoadNetwork
 
 
@@ -279,6 +279,17 @@ def multi_source_min_distance(
     if not sources or not targets:
         return math.inf
     target_set = targets if isinstance(targets, (set, frozenset)) else set(targets)
+    if radius == math.inf and counters is None:
+        # Untruncated searches relax until a target settles wherever it
+        # is, so the vectorized full-fixpoint sweep wins; the scalar
+        # kernel keeps the radius-truncated hot path (Algorithm 4),
+        # where stopping at the ball's edge beats any batch width.  The
+        # sweep's labels are bit-identical to Dijkstra's (see
+        # :func:`repro.graph.csr.batched_min_distances`), so the
+        # minimum over targets is the same float either way.
+        row = batched_min_distances(network, sources, reverse=reverse)
+        if row is not None:
+            return min((row[t] for t in target_set), default=math.inf)
     flat = flat_adjacency(network, reverse=reverse)
     if flat is not None:
         n, indptr, indices, weights = flat
@@ -354,6 +365,9 @@ def eccentricity(
     ``reverse=True`` measures the largest distance *to* ``source`` on
     a directed graph (both directions coincide when undirected).
     """
+    row = batched_min_distances(network, (source,), reverse=reverse)
+    if row is not None:
+        return max((d for d in row if d < math.inf), default=0.0)
     dist = dijkstra(network, source, reverse=reverse)
     assert isinstance(dist, dict)
     return max(dist.values(), default=0.0)

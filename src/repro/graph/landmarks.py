@@ -33,6 +33,7 @@ import math
 from collections.abc import Collection, Sequence
 from typing import TYPE_CHECKING
 
+from repro.graph.csr import batched_min_distances
 from repro.graph.dijkstra import dijkstra
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -66,6 +67,14 @@ def _shaved(a: float, b: float) -> float:
 
 
 def _distance_row(network: "RoadNetwork", source: int, *, reverse: bool) -> list[float]:
+    # The table build is a bulk all-distances pass — exactly the shape
+    # the vectorized sweep is for.  Its labels are bit-identical to the
+    # scalar Dijkstra's (see :func:`batched_min_distances`), so the
+    # tables — and every bound derived from them — do not depend on
+    # whether numpy was available at build time.
+    row = batched_min_distances(network, (source,), reverse=reverse)
+    if row is not None:
+        return row
     dist = dijkstra(network, source, reverse=reverse)
     assert isinstance(dist, dict)
     row = [_INF] * network.num_vertices

@@ -24,6 +24,7 @@ GET     ``/v1/sessions``                :meth:`SessionApi.list_sessions`
 GET     ``/v1/sessions/{id}``           :meth:`SessionApi.get_session`
 POST    ``/v1/sessions/{id}/pages``     :meth:`SessionApi.next_page`
 DELETE  ``/v1/sessions/{id}``           :meth:`SessionApi.close_session`
+GET     ``/v1/stats``                   :meth:`SessionApi.stats`
 ======  ==============================  ===========================
 
 Typed failures map onto the obvious statuses: malformed requests are
@@ -254,6 +255,19 @@ class SessionApi:
             exhausted=page.exhausted,
         )
 
+    def stats(self) -> dict:
+        """Performance counters of the serving engine (``GET /v1/stats``).
+
+        Exposes the cross-query distance-cache traffic (search and CH
+        bucket hits/misses), contraction-hierarchy preprocessing stats
+        when one has been built, and the store's session count — the
+        numbers an operator watches to size caches and decide whether
+        CH preprocessing pays off for the served workload.
+        """
+        stats = self.service.engine.perf_stats()
+        stats["sessions_stored"] = len(self.store.ids())
+        return stats
+
     def close_session(self, session_id: str) -> None:
         """Drop the stored session; later calls get a typed 404.
 
@@ -303,6 +317,8 @@ class SessionApi:
                 f"speaks {API_VERSION!r}"
             )
         parts = parts[1:]
+        if parts == ["stats"] and method == "GET":
+            return ApiResponse(status=200, body=self.stats())
         if parts == ["sessions"]:
             if method == "POST":
                 resource = self.create_session(body or {})

@@ -370,6 +370,20 @@ class SkySRService:
         return {"type": "SkySRBatch", "responses": batch}
 
     # ------------------------------------------------------------------
+    # observability
+
+    def perf_stats(self) -> dict:
+        """Service performance counters (the ``/v1/stats`` endpoint).
+
+        Delegates to :meth:`~repro.core.engine.SkySREngine.perf_stats`
+        (cross-query cache traffic, CH preprocessing) and adds the
+        service-level session census.
+        """
+        stats = self.engine.perf_stats()
+        stats["sessions_open"] = len(self._sessions)
+        return stats
+
+    # ------------------------------------------------------------------
 
     def _resolve_start(
         self, start: int | None, near: tuple[float, float] | None

@@ -1,0 +1,425 @@
+"""Contraction hierarchy ≡ Dijkstra: the exactness property layer.
+
+The CH subsystem (:mod:`repro.graph.contraction`) promises exact
+distances — preprocessing may add redundant shortcuts but never a wrong
+one, and every query primitive (point-to-point, one-to-many buckets,
+set-to-set minima, the lazy destination oracle) must agree with the
+plain Dijkstra kernels.  Integer edge weights make float sums exact, so
+these tests compare with strict equality at the oracle level; at the
+engine level CH answers are compared at the 9-decimal grain because CH
+sums associate differently along up-then-down paths.
+
+Also pinned here: the global/option toggles (``set_ch_enabled``,
+``REPRO_DISABLE_CH``, ``BSSROptions.use_contraction``), the vectorized
+numpy sweep's bit-identity and its kill switch, the checkpoint
+round-trip under CH candidate streams plus the restore guard that
+refuses CH-relative stream offsets in a CH-less process, the stats
+surfaces, and the benchmark baseline plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from benchmarks.baseline import GUARDED, load_baseline, main, read_key
+from repro.core.engine import SkySREngine
+from repro.core.options import BSSROptions
+from repro.errors import SessionDecodeError
+from repro.graph.contraction import (
+    CHDistanceOracle,
+    ch_enabled,
+    contraction_for,
+    set_ch_enabled,
+    shared_bucket,
+)
+from repro.graph.csr import (
+    HAVE_NUMPY,
+    batched_min_distances,
+    numpy_enabled,
+    set_numpy_enabled,
+)
+from repro.graph.dijkstra import dijkstra
+from repro.graph.road_network import RoadNetwork
+
+from .conftest import pick_query, random_instance, score_set
+
+
+@contextmanager
+def ch_backend(enabled: bool):
+    prev = set_ch_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_ch_enabled(prev)
+
+
+@contextmanager
+def numpy_backend(enabled: bool):
+    prev = set_numpy_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_numpy_enabled(prev)
+
+
+def min_edge_weight(network: RoadNetwork, u: int, v: int) -> float:
+    """Smallest ``u -> v`` edge weight (parallel edges collapse in CH)."""
+    best = math.inf
+    for head, w in network.neighbors(u):
+        if head == v and w < best:
+            best = w
+    return best
+
+
+# ----------------------------------------------------------------------
+# oracle-level exactness: every primitive against plain Dijkstra
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 10_000), directed=st.booleans())
+def test_property_distances_identical_to_dijkstra(seed, directed):
+    network, _forest, rng = random_instance(seed, directed=directed)
+    ch = contraction_for(network)
+    n = network.num_vertices
+    for source in rng.sample(range(n), 4):
+        exact = dijkstra(network, source)
+        for target in rng.sample(range(n), 6):
+            assert ch.distance(source, target) == exact.get(
+                target, math.inf
+            )
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 10_000), directed=st.booleans())
+def test_property_path_unpacks_to_original_edges(seed, directed):
+    network, _forest, rng = random_instance(seed, directed=directed)
+    ch = contraction_for(network)
+    n = network.num_vertices
+    source = rng.randrange(n)
+    exact = dijkstra(network, source)
+    for target in rng.sample(range(n), 5):
+        dist, path = ch.path(source, target)
+        assert dist == exact.get(target, math.inf)
+        if dist == math.inf:
+            assert path == []
+            continue
+        assert path[0] == source and path[-1] == target
+        # every hop is an original edge and the hop weights close the
+        # distance exactly (integer weights: float sums are exact)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            w = min_edge_weight(network, a, b)
+            assert w < math.inf
+            total += w
+        assert total == dist
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 10_000), directed=st.booleans())
+def test_property_many_to_many_identical_to_dijkstra(seed, directed):
+    network, _forest, rng = random_instance(seed, directed=directed)
+    ch = contraction_for(network)
+    n = network.num_vertices
+    targets = rng.sample(range(n), 5)
+    sources = rng.sample(range(n), 3)
+    bucket = ch.bucket(targets)
+    reference = {
+        t: dijkstra(network, t, reverse=True) for t in targets
+    }
+    for s in sources:
+        row = ch.distances_from(s, bucket)
+        for t in targets:
+            assert row.get(t, math.inf) == reference[t].get(s, math.inf)
+    expected = min(
+        reference[t].get(s, math.inf) for t in targets for s in sources
+    )
+    assert ch.min_from_set(sources, bucket) == expected
+
+
+def test_destination_oracle_matches_reverse_dijkstra():
+    network, _forest, rng = random_instance(99, directed=True)
+    ch = contraction_for(network)
+    destination = rng.randrange(network.num_vertices)
+    oracle = CHDistanceOracle(ch, destination)
+    exact = dijkstra(network, destination, reverse=True)
+    for vid in range(network.num_vertices):
+        assert oracle.get(vid, math.inf) == exact.get(vid, math.inf)
+
+
+def test_memoized_rows_and_streams_are_consistent():
+    network, forest, rng = random_instance(7)
+    ch = contraction_for(network)
+    engine = SkySREngine(network, forest)
+    picked = pick_query(network, forest, rng, 2)
+    assert picked is not None
+    start, cats = picked
+    spec = engine.compile(start, cats).specs[-1]
+    assert spec.share_key is not None
+    bucket = ch.bucket(spec.sim_map)
+    row = ch.distances_from(start, bucket)
+    assert ch.memo_row("cands", spec.share_key, start, spec.sim_map) == row
+    # memo hit: same object, no recomputation
+    memo = ch.memo_row("cands", spec.share_key, start, spec.sim_map)
+    assert memo is ch.memo_row("cands", spec.share_key, start, spec.sim_map)
+    stream = ch.memo_stream(spec.share_key, start, spec.sim_map)
+    assert stream == sorted(
+        (d, vid, spec.sim_map[vid]) for vid, d in row.items()
+    )
+    assert stream is ch.memo_stream(spec.share_key, start, spec.sim_map)
+    if row:
+        expected = min(row.values())
+        assert (
+            ch.vertex_min("cands", spec.share_key, start, spec.sim_map)
+            == expected
+        )
+
+
+def test_shared_bucket_memoizes_on_hierarchy_without_cache():
+    network, forest, rng = random_instance(13)
+    ch = contraction_for(network)
+    engine = SkySREngine(network, forest)
+    picked = pick_query(network, forest, rng, 2)
+    assert picked is not None
+    start, cats = picked
+    spec = engine.compile(start, cats).specs[0]
+    a = shared_bucket(ch, network, None, "cands", spec.share_key, spec.sim_map)
+    b = shared_bucket(ch, network, None, "cands", spec.share_key, spec.sim_map)
+    assert a is b
+    # no share_key: built fresh every time (unshareable target sets)
+    c = shared_bucket(ch, network, None, "cands", None, spec.sim_map)
+    assert c is not shared_bucket(
+        ch, network, None, "cands", None, spec.sim_map
+    )
+
+
+# ----------------------------------------------------------------------
+# engine level: CH on ≡ CH off at the 9-decimal grain
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 10_000), directed=st.booleans())
+def test_property_engine_answers_identical_with_ch(seed, directed):
+    network, forest, rng = random_instance(seed, directed=directed)
+    picked = pick_query(network, forest, rng, 3)
+    if picked is None:
+        return
+    start, cats = picked
+    engine = SkySREngine(network, forest)
+    plain = engine.query(start, cats)
+    with ch_backend(True):
+        with_ch = engine.query(
+            start, cats, options=BSSROptions(use_contraction=True)
+        )
+    assert score_set(with_ch.routes) == score_set(plain.routes)
+
+
+def test_engine_answers_identical_with_ch_and_destination():
+    network, forest, rng = random_instance(42)
+    picked = pick_query(network, forest, rng, 2)
+    assert picked is not None
+    start, cats = picked
+    destination = rng.randrange(network.num_vertices)
+    engine = SkySREngine(network, forest)
+    plain = engine.query(start, cats, destination=destination)
+    with ch_backend(True):
+        with_ch = engine.query(
+            start,
+            cats,
+            destination=destination,
+            options=BSSROptions(use_contraction=True),
+        )
+    assert score_set(with_ch.routes) == score_set(plain.routes)
+
+
+# ----------------------------------------------------------------------
+# toggles: option flag, global switch, env seeding
+
+
+def test_set_ch_enabled_returns_previous_and_gates_option():
+    network, forest, rng = random_instance(5)
+    picked = pick_query(network, forest, rng, 2)
+    assert picked is not None
+    start, cats = picked
+    engine = SkySREngine(network, forest)
+    options = BSSROptions(use_contraction=True)
+    with ch_backend(False):
+        assert not ch_enabled()
+        # the option alone must not engage CH — the run falls back to
+        # the graph kernels and still answers exactly
+        disabled = engine.query(start, cats, options=options)
+        assert "ch" not in disabled.stats.extra
+    with ch_backend(True):
+        assert ch_enabled()
+        enabled = engine.query(start, cats, options=options)
+        assert "ch" in enabled.stats.extra
+    assert score_set(disabled.routes) == score_set(enabled.routes)
+
+
+def test_ch_stats_reported_on_search_and_engine():
+    network, forest, rng = random_instance(3)
+    picked = pick_query(network, forest, rng, 2)
+    assert picked is not None
+    start, cats = picked
+    engine = SkySREngine(network, forest)
+    with ch_backend(True):
+        result = engine.query(
+            start, cats, options=BSSROptions(use_contraction=True)
+        )
+    ch_stats = result.stats.extra["ch"]
+    assert ch_stats["vertices"] == network.num_vertices
+    assert ch_stats["preprocess_ms"] >= 0.0
+    perf = engine.perf_stats()
+    assert perf["contraction"] == ch_stats
+
+
+def test_contraction_for_memoized_and_invalidated():
+    network, _forest, _rng = random_instance(21)
+    ch = contraction_for(network)
+    assert contraction_for(network) is ch
+    network.add_edge(0, 1, 3.0)
+    rebuilt = contraction_for(network)
+    assert rebuilt is not ch
+    assert rebuilt.distance(0, 1) <= 3.0
+
+
+def test_disable_env_seeds_global_toggle():
+    import os
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.graph.contraction import ch_enabled\n"
+        "from repro.graph.csr import numpy_enabled\n"
+        "assert not ch_enabled()\n"
+        "assert not numpy_enabled()\n"
+    )
+    env = dict(os.environ)
+    env["REPRO_DISABLE_CH"] = "1"
+    env["REPRO_DISABLE_NUMPY"] = "1"
+    subprocess.run(
+        [sys.executable, "-c", code], env=env, check=True
+    )
+
+
+# ----------------------------------------------------------------------
+# vectorized multi-source sweeps: bit-identity and the kill switch
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 10_000), directed=st.booleans())
+def test_property_batched_sweep_bit_identical(seed, directed):
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    network, _forest, rng = random_instance(seed, directed=directed)
+    n = network.num_vertices
+    sources = rng.sample(range(n), 3)
+    with numpy_backend(True):
+        batched = batched_min_distances(network, sources)
+        reversed_batched = batched_min_distances(
+            network, sources, reverse=True
+        )
+    assert batched is not None and reversed_batched is not None
+    rows = [dijkstra(network, s) for s in sources]
+    rrows = [dijkstra(network, s, reverse=True) for s in sources]
+    for v in range(n):
+        assert batched[v] == min(r.get(v, math.inf) for r in rows)
+        assert reversed_batched[v] == min(
+            r.get(v, math.inf) for r in rrows
+        )
+
+
+def test_numpy_toggle_round_trips_and_gates_kernel():
+    network, _forest, _rng = random_instance(1)
+    with numpy_backend(False):
+        assert not numpy_enabled()
+        assert batched_min_distances(network, [0]) is None
+    if HAVE_NUMPY:
+        with numpy_backend(True):
+            assert numpy_enabled()
+            assert batched_min_distances(network, [0]) is not None
+
+
+# ----------------------------------------------------------------------
+# sessions: checkpoint round trip + the stream-offset restore guard
+
+
+def test_session_checkpoint_round_trips_with_ch():
+    network, forest, rng = random_instance(23)
+    picked = pick_query(network, forest, rng, 3)
+    assert picked is not None
+    start, cats = picked
+    options = BSSROptions(use_contraction=True)
+    engine = SkySREngine(network, forest)
+    with ch_backend(True):
+        reference = engine.session(start, cats, page_size=1, options=options)
+        session = engine.session(start, cats, page_size=1, options=options)
+        first = list(session.next_page())
+        assert score_set(reference.next_page()) == score_set(first)
+        payload = session.dumps()
+        restored = type(session).loads(engine, payload)
+        assert score_set(restored.next_page()) == score_set(
+            reference.next_page()
+        )
+
+
+def test_restore_refuses_ch_stream_offsets_without_ch():
+    network, forest, rng = random_instance(23)
+    picked = pick_query(network, forest, rng, 3)
+    assert picked is not None
+    start, cats = picked
+    engine = SkySREngine(network, forest)
+    with ch_backend(True):
+        session = engine.session(
+            start,
+            cats,
+            page_size=1,
+            options=BSSROptions(use_contraction=True),
+        )
+        session.next_page()
+        payload = session.dumps()
+        with ch_backend(False):
+            with pytest.raises(SessionDecodeError, match="use_contraction"):
+                type(session).loads(engine, payload)
+        # same payload restores fine once CH is back on
+        type(session).loads(engine, payload).next_page()
+
+
+# ----------------------------------------------------------------------
+# benchmark baseline plumbing (loud skips, --check)
+
+
+def test_read_key_walks_dotted_paths():
+    payload = {"a": {"b": {"c": 1.5}}}
+    assert read_key(payload, "a.b.c") == 1.5
+    assert read_key(payload, "a.b.missing") is None
+    assert read_key(payload, "a.b.c.d") is None
+
+
+def test_load_baseline_is_loud_when_missing(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_CHECK", raising=False)
+    artifact = tmp_path / "BENCH_missing.json"
+    assert load_baseline(artifact, "a.b") is None
+    assert "no baseline" in capsys.readouterr().out
+    artifact.write_text('{"a": {"b": 2.0}}')
+    assert load_baseline(artifact, "a.b") == 2.0
+    assert capsys.readouterr().out == ""
+
+
+def test_load_baseline_fails_under_check_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CHECK", "1")
+    artifact = tmp_path / "BENCH_missing.json"
+    with pytest.raises(AssertionError, match="REPRO_BENCH_CHECK"):
+        load_baseline(artifact, "a.b")
+
+
+def test_baseline_check_passes_on_committed_artifacts():
+    # the committed BENCH_*.json artifacts must carry every guard key,
+    # and the guard map must cover the CH columns
+    assert "scenarios.figure3.ch.p95_s" in GUARDED["BENCH_core_query.json"]
+    assert main(["--check"]) == 0
